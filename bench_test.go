@@ -1,0 +1,160 @@
+// Package gillisbench regenerates every data figure of the Gillis paper's
+// evaluation as Go benchmarks: one benchmark per figure, reporting the
+// headline quantity of each as a custom metric. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Full-fidelity tables (the paper's query counts and sweep ranges) come
+// from `go run ./cmd/gillis-bench`; the benchmarks here use the trimmed
+// Quick settings so the whole suite completes in minutes.
+package gillisbench
+
+import (
+	"testing"
+
+	"gillis/internal/bench"
+)
+
+func quickCtx(b *testing.B) *bench.Context {
+	b.Helper()
+	ctx := bench.NewContext(7)
+	ctx.Quick = true
+	ctx.Queries = 15
+	return ctx
+}
+
+// BenchmarkFig01SingleFunctionWRN reproduces Fig. 1: single-function
+// WRN-50-k latency growth and OOM points on Lambda and GCF.
+func BenchmarkFig01SingleFunctionWRN(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig1(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Lambda.MeanMs, "ms/widest-fitting")
+	}
+}
+
+// BenchmarkFig07ParallelismSweep reproduces Fig. 7: layer-group latency vs
+// number of parallel functions on Lambda and KNIX.
+func BenchmarkFig07ParallelismSweep(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig7(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].KNIX.MeanMs, "ms/knix-widest")
+	}
+}
+
+// BenchmarkFig09LatencyOptimalCNN reproduces Fig. 9: Gillis-LO vs Default
+// for CNN models on Lambda/GCF.
+func BenchmarkFig09LatencyOptimalCNN(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig9(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64 = 1e9
+		for _, r := range res.Rows {
+			if r.Speedup > 0 && r.Speedup < worst {
+				worst = r.Speedup
+			}
+		}
+		b.ReportMetric(worst, "x-min-speedup")
+	}
+}
+
+// BenchmarkFig10KNIX reproduces Fig. 10: the KNIX comparison including thin
+// ResNets.
+func BenchmarkFig10KNIX(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig10(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Speedup, "x-speedup")
+	}
+}
+
+// BenchmarkFig11LargeModels reproduces Fig. 11: Gillis vs the S3-staged
+// Pipeline for models that do not fit one function.
+func BenchmarkFig11LargeModels(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig11(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Speedup, "x-vs-pipeline")
+	}
+}
+
+// BenchmarkFig12RNN reproduces Fig. 12: RNN depth scaling and the
+// single-function OOM frontier.
+func BenchmarkFig12RNN(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig12(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Gillis.MeanMs, "ms/deepest")
+	}
+}
+
+// BenchmarkFig13SLOAware reproduces Fig. 13: SLO-aware RL vs BO vs BF cost
+// and compliance. This is the most expensive figure (it trains RL agents).
+func BenchmarkFig13SLOAware(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig13(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var saCost float64
+		for _, r := range res.Rows {
+			if r.Algorithm == "SA" && r.SLOMet {
+				saCost = r.Latency.MeanCost
+			}
+		}
+		b.ReportMetric(saCost, "billed-ms/query")
+	}
+}
+
+// BenchmarkFig14Grouping reproduces Fig. 14: the latency-optimal grouping
+// structure of WRN-34-5.
+func BenchmarkFig14Grouping(b *testing.B) {
+	ctx := quickCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig14(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Groups)), "groups")
+	}
+}
+
+// BenchmarkFig15PerfModel reproduces Fig. 15: performance-model prediction
+// accuracy across runtimes, communication delays, and end-to-end latency.
+func BenchmarkFig15PerfModel(b *testing.B) {
+	ctx := quickCtx(b)
+	ctx.Queries = 40
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig15(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range res.E2E {
+			if r.ErrPct > worst {
+				worst = r.ErrPct
+			}
+		}
+		b.ReportMetric(worst, "pct-max-e2e-err")
+	}
+}

@@ -1,0 +1,97 @@
+// Command gillis-bench regenerates the Gillis paper's evaluation figures
+// (§V) on the simulated serverless platforms and prints each figure's table.
+//
+// Usage:
+//
+//	gillis-bench [-figs 1,7,9,10,11,12,13,14,15] [-seed N] [-queries N]
+//	             [-quick] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gillis/internal/bench"
+)
+
+type figure struct {
+	id  string
+	run func(*bench.Context) (interface{ Table() string }, error)
+}
+
+func figures() []figure {
+	return []figure{
+		{"1", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig1(c) }},
+		{"7", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig7(c) }},
+		{"9", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig9(c) }},
+		{"10", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig10(c) }},
+		{"11", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig11(c) }},
+		{"12", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig12(c) }},
+		{"13", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig13(c) }},
+		{"14", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig14(c) }},
+		{"15", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Fig15(c) }},
+		{"ablations", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Ablations(c) }},
+		{"burst", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Burst(c) }},
+		{"load", func(c *bench.Context) (interface{ Table() string }, error) { return bench.DynamicLoad(c) }},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gillis-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gillis-bench", flag.ContinueOnError)
+	figsFlag := fs.String("figs", "1,7,9,10,11,12,13,14,15,ablations,burst,load", "comma-separated figures to run")
+	seed := fs.Int64("seed", 42, "random seed for all stochastic components")
+	queries := fs.Int("queries", 100, "queries per latency measurement")
+	quick := fs.Bool("quick", false, "trim sweeps and training budgets")
+	out := fs.String("out", "", "also write tables to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx := bench.NewContext(*seed)
+	ctx.Queries = *queries
+	ctx.Quick = *quick
+
+	want := make(map[string]bool)
+	for _, f := range strings.Split(*figsFlag, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+
+	var sink io.Writer = stdout
+	var file *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		file = f
+		sink = io.MultiWriter(stdout, f)
+	}
+
+	for _, fig := range figures() {
+		if !want[fig.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := fig.run(ctx)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", fig.id, err)
+		}
+		fmt.Fprintln(sink, res.Table())
+		fmt.Fprintf(sink, "(figure %s regenerated in %v)\n\n", fig.id, time.Since(start).Round(time.Millisecond))
+	}
+	if file != nil {
+		return file.Close()
+	}
+	return nil
+}

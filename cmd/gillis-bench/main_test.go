@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-figs", "14", "-quick", "-queries", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 14") || !strings.Contains(out, "regenerated in") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tables.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-figs", "14", "-quick", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 14") {
+		t.Fatal("stdout missing table")
+	}
+}
+
+func TestRunUnknownFigureIsSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figs", "999"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Fig") {
+		t.Fatal("no figures should have run")
+	}
+}
+
+func TestFiguresListComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, f := range figures() {
+		ids[f.id] = true
+	}
+	for _, want := range []string{"1", "7", "9", "10", "11", "12", "13", "14", "15", "ablations", "burst"} {
+		if !ids[want] {
+			t.Errorf("figure %s missing from registry", want)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Command gillis-server exposes a Gillis deployment over HTTP: real
+// inference (exact tensor math) runs through the fork-join runtime on the
+// simulated serverless platform, per request. It demonstrates the
+// end-to-end serving path a production front end would wrap around Gillis.
+//
+// Endpoints:
+//
+//	GET  /healthz     — liveness
+//	GET  /v1/model    — model metadata and the active plan
+//	POST /v1/predict  — {"shape":[3,32,32],"input":[...]} → prediction
+//
+// Usage:
+//
+//	gillis-server [-addr :8080] [-modelfile m.glsm] [-platform lambda]
+//
+// Without -modelfile a small built-in demo CNN is served.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"gillis/internal/core"
+	"gillis/internal/graph"
+	"gillis/internal/modelio"
+	"gillis/internal/nn"
+	"gillis/internal/partition"
+	"gillis/internal/perf"
+	"gillis/internal/platform"
+	"gillis/internal/runtime"
+	"gillis/internal/simnet"
+	"gillis/internal/tensor"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelFile := flag.String("modelfile", "", "ONNX-lite model with weights (default: built-in demo CNN)")
+	platformName := flag.String("platform", "lambda", "platform: lambda, gcf, or knix")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	srv, err := newServer(*modelFile, *platformName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gillis-server:", err)
+		os.Exit(1)
+	}
+	log.Printf("serving %s on %s (platform %s, %d plan groups)",
+		srv.model.Name, *addr, *platformName, len(srv.plan.Groups))
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+// server holds the loaded model and its plan; each request runs one
+// simulated fork-join inference with real tensor math.
+type server struct {
+	model *graph.Graph
+	units []*partition.Unit
+	plan  *partition.Plan
+	cfg   platform.Config
+	seed  int64
+}
+
+func newServer(modelFile, platformName string, seed int64) (*server, error) {
+	cfg, err := platform.ByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	var g *graph.Graph
+	if modelFile != "" {
+		g, err = modelio.LoadFile(modelFile)
+		if err != nil {
+			return nil, err
+		}
+		if !g.Initialized() {
+			return nil, fmt.Errorf("model %q has no weights; export with -weights", modelFile)
+		}
+	} else {
+		g = demoModel()
+		g.Init(seed)
+	}
+	units, err := partition.Linearize(g)
+	if err != nil {
+		return nil, err
+	}
+	m, err := perf.Build(cfg, seed, 2, 300)
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := core.LatencyOptimal(m, units, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed}, nil
+}
+
+// demoModel is the built-in CNN served when no model file is given.
+func demoModel() *graph.Graph {
+	g := graph.New("demo-cnn", []int{3, 32, 32})
+	g.MustAdd(nn.NewConv2D("stem", 3, 16, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("stem_bn", 16))
+	g.MustAdd(nn.NewReLU("stem_relu"))
+	g.MustAdd(nn.NewMaxPool2D("pool", 2, 2, 0))
+	g.MustAdd(nn.NewConv2D("conv2", 16, 32, 3, 1, 1))
+	g.MustAdd(nn.NewReLU("conv2_relu"))
+	g.MustAdd(nn.NewGlobalAvgPool("gap"))
+	g.MustAdd(nn.NewDense("fc", 32, 10))
+	g.MustAdd(nn.NewSoftmax("prob"))
+	return g
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return mux
+}
+
+// modelInfo is the /v1/model response body.
+type modelInfo struct {
+	Name     string   `json:"name"`
+	InShape  []int    `json:"inShape"`
+	Units    int      `json:"units"`
+	ParamsMB float64  `json:"paramsMB"`
+	Platform string   `json:"platform"`
+	Plan     []string `json:"plan"`
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	info := modelInfo{
+		Name:     s.model.Name,
+		InShape:  s.model.InShape(),
+		Units:    len(s.units),
+		ParamsMB: float64(s.model.ParamBytes()) / 1e6,
+		Platform: s.cfg.Name,
+	}
+	for gi, gp := range s.plan.Groups {
+		info.Plan = append(info.Plan, fmt.Sprintf("group %d: units %d..%d %s", gi+1, gp.First, gp.Last, gp.Option))
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// predictRequest is the /v1/predict request body.
+type predictRequest struct {
+	Shape []int     `json:"shape"`
+	Input []float32 `json:"input"`
+}
+
+// predictResponse is the /v1/predict response body.
+type predictResponse struct {
+	Shape     []int     `json:"shape"`
+	Output    []float32 `json:"output"`
+	LatencyMs float64   `json:"latencyMs"` // simulated serverless latency
+	BilledMs  int64     `json:"billedMs"`
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	input, err := tensor.FromData(req.Input, req.Shape...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.infer(input)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// infer runs one fork-join inference on a fresh simulation.
+func (s *server) infer(input *tensor.Tensor) (*predictResponse, error) {
+	env := simnet.NewEnv()
+	p := platform.New(env, s.cfg, s.seed)
+	var out *predictResponse
+	var serveErr error
+	env.Go("request", func(proc *simnet.Proc) {
+		d, err := runtime.Deploy(p, s.units, s.plan, runtime.Real)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			serveErr = err
+			return
+		}
+		res, err := d.Serve(proc, input)
+		if err != nil {
+			serveErr = err
+			return
+		}
+		out = &predictResponse{
+			Shape:     res.Output.Shape(),
+			Output:    res.Output.Data(),
+			LatencyMs: res.LatencyMs,
+			BilledMs:  res.BilledMs,
+		}
+	})
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	if serveErr != nil {
+		return nil, serveErr
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gillis/internal/modelio"
+	"gillis/internal/tensor"
+)
+
+var (
+	srvOnce sync.Once
+	testSrv *server
+	srvErr  error
+)
+
+func demoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srvOnce.Do(func() { testSrv, srvErr = newServer("", "lambda", 1) })
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	ts := httptest.NewServer(testSrv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthz(t *testing.T) {
+	ts := demoServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestModelInfo(t *testing.T) {
+	ts := demoServer(t)
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info modelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "demo-cnn" || info.Units == 0 || len(info.Plan) == 0 {
+		t.Fatalf("bad model info: %+v", info)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	ts := demoServer(t)
+	in := tensor.Full(0.5, 3, 32, 32)
+	body, err := json.Marshal(predictRequest{Shape: in.Shape(), Input: in.Data()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Output) != 10 || pr.LatencyMs <= 0 || pr.BilledMs <= 0 {
+		t.Fatalf("bad prediction: %+v", pr)
+	}
+	var sum float64
+	for _, v := range pr.Output {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+	// The HTTP answer must match direct local execution of the same model.
+	want, err := testSrv.model.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pr.Output {
+		if v != want.Data()[i] {
+			t.Fatal("served output differs from local execution")
+		}
+	}
+}
+
+func TestPredictBadRequests(t *testing.T) {
+	ts := demoServer(t)
+	for _, body := range []string{
+		"{not json",
+		`{"shape":[2,2],"input":[1]}`,       // length mismatch
+		`{"shape":[1,5,5],"input":[0,0,0]}`, // wrong shape for model too
+	} {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("request %q should fail", body)
+		}
+	}
+}
+
+func TestNewServerFromModelFile(t *testing.T) {
+	g := demoModel()
+	g.Init(9)
+	path := filepath.Join(t.TempDir(), "demo.glsm")
+	if err := modelio.SaveFile(path, g, true); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(path, "knix", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.model.Name != "demo-cnn" {
+		t.Fatalf("loaded %q", s.model.Name)
+	}
+	// Weightless model files are rejected.
+	if err := modelio.SaveFile(path, demoModel(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(path, "knix", 2); err == nil {
+		t.Fatal("expected no-weights error")
+	}
+}

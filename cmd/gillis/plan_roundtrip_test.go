@@ -1,0 +1,31 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// partition -out → serve -plan roundtrip: the workflow a user follows to
+// plan once and deploy many times.
+func TestPlanFileWorkflow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rnn3.plan.json")
+	out, err := runCmd(t, "partition", "-model", "rnn3", "-platform", "lambda", "-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "plan written to") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	out, err = runCmd(t, "serve", "-model", "rnn3", "-platform", "lambda", "-plan", path, "-queries", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "served 5 queries") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// A plan for the wrong model must be rejected at validation.
+	if _, err := runCmd(t, "serve", "-model", "vgg11", "-platform", "lambda", "-plan", path, "-queries", "1"); err == nil {
+		t.Fatal("expected plan/model mismatch error")
+	}
+}

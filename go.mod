@@ -1,0 +1,3 @@
+module gillis
+
+go 1.22

@@ -1,0 +1,195 @@
+// Package bench reproduces every data figure of the Gillis paper's
+// evaluation (§V): one runner per figure, each printing the same rows or
+// series the paper reports. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured outcomes.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"gillis/internal/models"
+	"gillis/internal/partition"
+	"gillis/internal/perf"
+	"gillis/internal/platform"
+	"gillis/internal/runtime"
+	"gillis/internal/simnet"
+	"gillis/internal/stats"
+)
+
+// Context caches fitted performance models and linearized units across
+// experiment runners.
+type Context struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Queries per measurement (the paper uses 100 for latency figures).
+	Queries int
+	// Quick trims sweeps and training budgets for use under testing.B.
+	Quick bool
+
+	mu      sync.Mutex
+	perfmdl map[string]*perf.Model
+	units   map[string][]*partition.Unit
+}
+
+// NewContext creates a benchmark context with the paper's defaults.
+func NewContext(seed int64) *Context {
+	return &Context{
+		Seed:    seed,
+		Queries: 100,
+		perfmdl: make(map[string]*perf.Model),
+		units:   make(map[string][]*partition.Unit),
+	}
+}
+
+// Model returns (building on first use) the fitted performance model for a
+// platform ("lambda", "gcf", "knix").
+func (c *Context) Model(platformName string) (*perf.Model, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.perfmdl[platformName]; ok {
+		return m, nil
+	}
+	cfg, err := platform.ByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := perf.Build(cfg, c.Seed, 2, 300)
+	if err != nil {
+		return nil, err
+	}
+	c.perfmdl[platformName] = m
+	return m, nil
+}
+
+// Units returns (linearizing on first use) a zoo model's unit chain.
+func (c *Context) Units(model string) ([]*partition.Unit, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if u, ok := c.units[model]; ok {
+		return u, nil
+	}
+	g, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	u, err := partition.Linearize(g)
+	if err != nil {
+		return nil, err
+	}
+	c.units[model] = u
+	return u, nil
+}
+
+// queries returns the per-measurement query count, trimmed in Quick mode.
+func (c *Context) queries() int {
+	n := c.Queries
+	if n <= 0 {
+		n = 100
+	}
+	if c.Quick && n > 20 {
+		n = 20
+	}
+	return n
+}
+
+// Measurement summarizes one measured deployment.
+type Measurement struct {
+	MeanMs   float64
+	P99Ms    float64
+	StdMs    float64
+	MeanCost float64 // mean billed ms per query
+	OOM      bool
+	Err      string
+}
+
+// measurePlan deploys a plan on a fresh platform instance and serves warm
+// queries, returning latency and cost statistics. A deployment error whose
+// cause is the memory budget is reported as OOM, like the paper's failed
+// configurations.
+func measurePlan(cfg platform.Config, seed int64, units []*partition.Unit, plan *partition.Plan, n int) Measurement {
+	env := simnet.NewEnv()
+	p := platform.New(env, cfg, seed)
+	var (
+		lats  []float64
+		costs []float64
+		mErr  error
+	)
+	env.Go("client", func(proc *simnet.Proc) {
+		d, err := runtime.Deploy(p, units, plan, runtime.ShapeOnly)
+		if err != nil {
+			mErr = err
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			mErr = err
+			return
+		}
+		// One warm-up query, then the measured ones (§II-B methodology).
+		if _, err := d.Serve(proc, nil); err != nil {
+			mErr = err
+			return
+		}
+		for i := 0; i < n; i++ {
+			r, err := d.Serve(proc, nil)
+			if err != nil {
+				mErr = err
+				return
+			}
+			lats = append(lats, r.LatencyMs)
+			costs = append(costs, float64(r.BilledMs))
+		}
+	})
+	if err := env.Run(); err != nil {
+		return Measurement{Err: err.Error()}
+	}
+	if mErr != nil {
+		return Measurement{OOM: isOOM(mErr), Err: mErr.Error()}
+	}
+	return Measurement{
+		MeanMs:   stats.Mean(lats),
+		P99Ms:    stats.Percentile(lats, 99),
+		StdMs:    stats.Std(lats),
+		MeanCost: stats.Mean(costs),
+	}
+}
+
+// measureDefault measures single-function (Default) serving.
+func measureDefault(cfg platform.Config, seed int64, units []*partition.Unit, n int) Measurement {
+	plan := &partition.Plan{
+		Model: "default",
+		Groups: []partition.GroupPlan{{
+			First: 0, Last: len(units) - 1,
+			Option:   partition.Option{Dim: partition.DimNone, Parts: 1},
+			OnMaster: true,
+		}},
+	}
+	return measurePlan(cfg, seed, units, plan, n)
+}
+
+func isOOM(err error) bool {
+	return err != nil && containsStr(err.Error(), "OOM")
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// platformCfg resolves a platform profile by name.
+func platformCfg(name string) (platform.Config, error) { return platform.ByName(name) }
+
+// fmtMs renders a latency cell, using "OOM" for failed configurations.
+func fmtMs(m Measurement) string {
+	if m.OOM {
+		return "OOM"
+	}
+	if m.Err != "" {
+		return "ERR"
+	}
+	return fmt.Sprintf("%.0f", m.MeanMs)
+}

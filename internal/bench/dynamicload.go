@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"gillis/internal/core"
+	"gillis/internal/partition"
+	"gillis/internal/platform"
+	"gillis/internal/runtime"
+	"gillis/internal/simnet"
+	"gillis/internal/stats"
+	"gillis/internal/workload"
+)
+
+// LoadRow is one (policy) row of the dynamic-load study.
+type LoadRow struct {
+	Policy     string
+	Queries    int
+	MeanMs     float64
+	P99Ms      float64
+	ColdStarts int
+}
+
+// LoadResult is an extension study replaying a bursty arrival trace
+// (§II-A's motivating regime) against a Gillis deployment under different
+// warm-pool policies: none, steady-state sized, and burst-aware. The
+// serverless platform absorbs the spike either way — the warm-up policy
+// decides who pays cold starts on the tail.
+type LoadResult struct {
+	Model string
+	Spec  workload.BurstSpec
+	Rows  []LoadRow
+}
+
+// DynamicLoad runs the study with ResNet-50 on Lambda.
+func DynamicLoad(ctx *Context) (*LoadResult, error) {
+	m, err := ctx.Model("lambda")
+	if err != nil {
+		return nil, err
+	}
+	units, err := ctx.Units("resnet50")
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := core.LatencyOptimal(m, units, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	spec := workload.BurstSpec{
+		BaseRate:  2,
+		BurstRate: 20,
+		Period:    20 * time.Second,
+		BurstLen:  4 * time.Second,
+	}
+	horizon := 60 * time.Second
+	if ctx.Quick {
+		horizon = 20 * time.Second
+	}
+	arrivals, err := workload.Bursty(rand.New(rand.NewSource(ctx.Seed)), spec, horizon)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LoadResult{Model: "resnet50", Spec: spec}
+	policies := []struct {
+		name string
+		warm int
+	}{
+		{"no warm-up", 0},
+		{"steady-sized (2)", 2},
+		{"burst-aware (12)", 12},
+	}
+	for pi, pol := range policies {
+		row, err := replayTrace(m.Platform(), ctx.Seed+int64(pi), units, plan, arrivals, pol.warm)
+		if err != nil {
+			return nil, err
+		}
+		row.Policy = pol.name
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// replayTrace fires one query per arrival time against a deployment with
+// `warm` prewarmed instances per function.
+func replayTrace(cfg platform.Config, seed int64, units []*partition.Unit, plan *partition.Plan,
+	arrivals []time.Duration, warm int) (LoadRow, error) {
+	env := simnet.NewEnv()
+	p := platform.New(env, cfg, seed)
+	d, err := runtime.Deploy(p, units, plan, runtime.ShapeOnly)
+	if err != nil {
+		return LoadRow{}, err
+	}
+	for i := 0; i < warm; i++ {
+		if err := d.Prewarm(); err != nil {
+			return LoadRow{}, err
+		}
+	}
+	lats := make([]float64, 0, len(arrivals))
+	cold := 0
+	errs := make([]error, len(arrivals))
+	for i, at := range arrivals {
+		i, at := i, at
+		env.Go(fmt.Sprintf("q%d", i), func(proc *simnet.Proc) {
+			proc.Sleep(at)
+			r, err := d.Serve(proc, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			lats = append(lats, r.LatencyMs)
+			if r.ColdStart {
+				cold++
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		return LoadRow{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return LoadRow{}, err
+		}
+	}
+	return LoadRow{
+		Queries:    len(lats),
+		MeanMs:     stats.Mean(lats),
+		P99Ms:      stats.Percentile(lats, 99),
+		ColdStarts: cold,
+	}, nil
+}
+
+// Table renders the study as text.
+func (r *LoadResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Dynamic load. %s under bursty traffic (%.0f→%.0f qps bursts)\n",
+		r.Model, r.Spec.BaseRate, r.Spec.BurstRate)
+	sb.WriteString("          policy | queries | mean ms | p99 ms | cold starts\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%16s | %7d | %7.0f | %6.0f | %d\n",
+			row.Policy, row.Queries, row.MeanMs, row.P99Ms, row.ColdStarts)
+	}
+	return sb.String()
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gillis/internal/core"
+)
+
+// CNNRow compares Gillis's latency-optimal serving against Default for one
+// model on one platform.
+type CNNRow struct {
+	Model    string
+	Platform string
+	Default  Measurement
+	Gillis   Measurement
+	Speedup  float64
+}
+
+// Fig9Result reproduces Fig. 9 (§V-B): Gillis-LO vs Default latencies for
+// VGG and Wide ResNet models on Lambda and Google Cloud Functions.
+type Fig9Result struct {
+	Rows []CNNRow
+}
+
+// Fig9 runs the experiment.
+func Fig9(ctx *Context) (*Fig9Result, error) {
+	modelsList := []string{"vgg11", "vgg16", "vgg19", "wrn34-3", "wrn34-4", "wrn50-3"}
+	platforms := []string{"lambda", "gcf"}
+	if ctx.Quick {
+		modelsList = []string{"vgg16", "wrn34-3"}
+		platforms = []string{"lambda"}
+	}
+	res := &Fig9Result{}
+	for _, pf := range platforms {
+		rows, err := compareGillisDefault(ctx, pf, modelsList)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// compareGillisDefault measures Default and the latency-optimal plan for
+// each model on one platform.
+func compareGillisDefault(ctx *Context, platformName string, names []string) ([]CNNRow, error) {
+	m, err := ctx.Model(platformName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := m.Platform()
+	var rows []CNNRow
+	for i, name := range names {
+		units, err := ctx.Units(name)
+		if err != nil {
+			return nil, err
+		}
+		plan, _, err := core.LatencyOptimal(m, units, core.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s on %s: %w", name, platformName, err)
+		}
+		seed := ctx.Seed + int64(i)*7
+		row := CNNRow{Model: name, Platform: platformName}
+		row.Default = measureDefault(cfg, seed, units, ctx.queries())
+		row.Gillis = measurePlan(cfg, seed+1, units, plan, ctx.queries())
+		if row.Gillis.Err != "" {
+			return nil, fmt.Errorf("bench: gillis %s on %s: %s", name, platformName, row.Gillis.Err)
+		}
+		if !row.Default.OOM && row.Default.Err == "" && row.Gillis.MeanMs > 0 {
+			row.Speedup = row.Default.MeanMs / row.Gillis.MeanMs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table renders the figure as text.
+func (r *Fig9Result) Table() string {
+	return cnnTable("Fig 9. Gillis (latency-optimal) vs Default serving, CNNs (ms)", r.Rows)
+}
+
+func cnnTable(title string, rows []CNNRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	sb.WriteString("   model  | platform |  default |   gillis | speedup\n")
+	for _, row := range rows {
+		sp := "   -"
+		if row.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", row.Speedup)
+		}
+		fmt.Fprintf(&sb, "%9s | %8s | %8s | %8s | %s\n",
+			row.Model, row.Platform, fmtMs(row.Default), fmtMs(row.Gillis), sp)
+	}
+	return sb.String()
+}
+
+// Fig10Result reproduces Fig. 10 (§V-B): the same comparison on KNIX,
+// including the "thin" classic ResNets that only benefit under fast
+// function interactions.
+type Fig10Result struct {
+	Rows []CNNRow
+}
+
+// Fig10 runs the experiment.
+func Fig10(ctx *Context) (*Fig10Result, error) {
+	names := []string{"vgg16", "vgg19", "wrn50-3", "resnet34", "resnet50", "resnet101"}
+	if ctx.Quick {
+		names = []string{"vgg16", "resnet50"}
+	}
+	rows, err := compareGillisDefault(ctx, "knix", names)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Rows: rows}, nil
+}
+
+// Table renders the figure as text.
+func (r *Fig10Result) Table() string {
+	return cnnTable("Fig 10. Gillis vs Default serving on KNIX (ms)", r.Rows)
+}

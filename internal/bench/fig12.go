@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gillis/internal/core"
+)
+
+// Fig12Row is one RNN depth point.
+type Fig12Row struct {
+	Layers  int
+	Default Measurement
+	Gillis  Measurement
+}
+
+// Fig12Result reproduces Fig. 12 (§V-B): serving multi-layer LSTM models
+// on Lambda. A single function only holds up to 9 layers; Gillis has no
+// such limit and its latency grows linearly with depth, showing that
+// function communication overhead is minimized.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 runs the experiment.
+func Fig12(ctx *Context) (*Fig12Result, error) {
+	depths := []int{3, 6, 9, 10, 12}
+	if ctx.Quick {
+		depths = []int{3, 10}
+	}
+	m, err := ctx.Model("lambda")
+	if err != nil {
+		return nil, err
+	}
+	cfg := m.Platform()
+	res := &Fig12Result{}
+	for i, n := range depths {
+		units, err := ctx.Units(fmt.Sprintf("rnn%d", n))
+		if err != nil {
+			return nil, err
+		}
+		plan, _, err := core.LatencyOptimal(m, units, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		seed := ctx.Seed + int64(i)*17
+		row := Fig12Row{Layers: n}
+		row.Default = measureDefault(cfg, seed, units, ctx.queries())
+		row.Gillis = measurePlan(cfg, seed+1, units, plan, ctx.queries())
+		if row.Gillis.Err != "" {
+			return nil, fmt.Errorf("bench: gillis rnn%d: %s", n, row.Gillis.Err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the figure as text.
+func (r *Fig12Result) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 12. RNN serving latency on Lambda (ms); single functions hold <= 9 layers\n")
+	sb.WriteString("layers |  default |   gillis\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%6d | %8s | %8s\n", row.Layers, fmtMs(row.Default), fmtMs(row.Gillis))
+	}
+	return sb.String()
+}

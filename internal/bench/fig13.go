@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gillis/internal/core"
+)
+
+// Fig13Row is one (model, SLO, algorithm) cell: measured mean latency,
+// whether the SLO held, and the mean billed cost per query.
+type Fig13Row struct {
+	Model     string
+	TmaxMs    float64
+	Algorithm string // "SA" (Gillis RL), "BO", "BF"
+	Latency   Measurement
+	SLOMet    bool
+}
+
+// Fig13Result reproduces Fig. 13 (§V-C): Gillis's SLO-aware RL vs Bayesian
+// optimization (and brute force on VGG-11). SA always meets the SLOs and
+// costs up to ~1.8× less than BO; BO violates restrictive SLOs.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Fig13 runs the experiment on Lambda. Restrictive and loose SLOs are set
+// relative to each model's best achievable latency (the paper picks
+// absolute values of the same character, e.g. VGG-11 at 500 ms).
+func Fig13(ctx *Context) (*Fig13Result, error) {
+	names := []string{"vgg11", "vgg16", "wrn50-4", "wrn50-5"}
+	runs := 3
+	episodes := 1500
+	boIters := 80
+	if ctx.Quick {
+		names = []string{"vgg11"}
+		runs = 1
+		boIters = 40
+	}
+	m, err := ctx.Model("lambda")
+	if err != nil {
+		return nil, err
+	}
+	cfg := m.Platform()
+	res := &Fig13Result{}
+	for mi, name := range names {
+		units, err := ctx.Units(name)
+		if err != nil {
+			return nil, err
+		}
+		_, lo, err := core.LatencyOptimal(m, units, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for si, slo := range []float64{lo.LatencyMs * 1.2, lo.LatencyMs * 2.5} {
+			seed := ctx.Seed + int64(mi*10+si)
+
+			// SA: best of `runs` RL trainings (§V-C reports the best of 3).
+			var bestSA *core.SLOResult
+			for r := 0; r < runs; r++ {
+				sa, err := core.SLOAware(m, units, slo, core.SLOConfig{Episodes: episodes, Seed: seed + int64(r)})
+				if err != nil {
+					return nil, err
+				}
+				if bestSA == nil || saBetter(&sa, bestSA) {
+					tmp := sa
+					bestSA = &tmp
+				}
+			}
+			meas := measurePlan(cfg, seed+100, units, bestSA.Plan, ctx.queries())
+			res.Rows = append(res.Rows, Fig13Row{
+				Model: name, TmaxMs: slo, Algorithm: "SA",
+				Latency: meas, SLOMet: meas.Err == "" && meas.MeanMs <= slo,
+			})
+
+			// BO: best of `runs` searches.
+			var bestBO *core.BOResult
+			for r := 0; r < runs; r++ {
+				bo, err := core.BayesOpt(m, units, slo, core.BOConfig{Iters: boIters, Seed: seed + int64(r) + 40})
+				if err != nil {
+					continue // BO may fail outright on hard instances
+				}
+				if bestBO == nil || boBetter(&bo, bestBO) {
+					tmp := bo
+					bestBO = &tmp
+				}
+			}
+			if bestBO != nil {
+				meas := measurePlan(cfg, seed+200, units, bestBO.Plan, ctx.queries())
+				res.Rows = append(res.Rows, Fig13Row{
+					Model: name, TmaxMs: slo, Algorithm: "BO",
+					Latency: meas, SLOMet: meas.Err == "" && meas.MeanMs <= slo,
+				})
+			}
+
+			// BF: only for the smallest model (intractable otherwise, §V-C).
+			if name == "vgg11" {
+				bf, err := core.BruteForce(m, units, slo, core.BFConfig{MaxNodes: 500_000})
+				if err == nil {
+					meas := measurePlan(cfg, seed+300, units, bf.Plan, ctx.queries())
+					res.Rows = append(res.Rows, Fig13Row{
+						Model: name, TmaxMs: slo, Algorithm: "BF",
+						Latency: meas, SLOMet: meas.Err == "" && meas.MeanMs <= slo,
+					})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func saBetter(a, b *core.SLOResult) bool {
+	if a.Met != b.Met {
+		return a.Met
+	}
+	if a.Met {
+		return a.Pred.BilledMs < b.Pred.BilledMs
+	}
+	return a.Pred.LatencyMs < b.Pred.LatencyMs
+}
+
+func boBetter(a, b *core.BOResult) bool {
+	if a.Met != b.Met {
+		return a.Met
+	}
+	if a.Met {
+		return a.Pred.BilledMs < b.Pred.BilledMs
+	}
+	return a.Pred.LatencyMs < b.Pred.LatencyMs
+}
+
+// Table renders the figure as text.
+func (r *Fig13Result) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Fig 13. SLO-aware serving on Lambda: latency / billed cost per query\n")
+	sb.WriteString("  model  |  T_max | alg | latency | SLO met | cost (ms billed)\n")
+	for _, row := range r.Rows {
+		met := "yes"
+		if !row.SLOMet {
+			met = "NO"
+		}
+		fmt.Fprintf(&sb, "%8s | %6.0f | %3s | %7s | %7s | %8.0f\n",
+			row.Model, row.TmaxMs, row.Algorithm, fmtMs(row.Latency), met, row.Latency.MeanCost)
+	}
+	return sb.String()
+}

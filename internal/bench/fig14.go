@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gillis/internal/core"
+	"gillis/internal/partition"
+)
+
+// Fig14Group describes one group of the latency-optimal WRN-34-5 plan.
+type Fig14Group struct {
+	Group     int
+	Units     int
+	Option    string
+	Functions int
+	OnMaster  bool
+	WeightMB  float64
+}
+
+// Fig14Result reproduces Fig. 14 (§V-D): the layer grouping and
+// parallelization the latency-optimal algorithm chooses for WRN-34-5. The
+// paper's observations: bottom groups fuse more layers and parallelize
+// wider; the master computes partitions of low, small-weight groups.
+type Fig14Result struct {
+	Model  string
+	Groups []Fig14Group
+	Plan   *partition.Plan
+}
+
+// Fig14 computes the plan (no serving required).
+func Fig14(ctx *Context) (*Fig14Result, error) {
+	m, err := ctx.Model("lambda")
+	if err != nil {
+		return nil, err
+	}
+	units, err := ctx.Units("wrn34-5")
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := core.LatencyOptimal(m, units, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{Model: "wrn34-5", Plan: plan}
+	for gi, gp := range plan.Groups {
+		ext, err := partition.GroupExtent(units, gp.First, gp.Last, gp.Option)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, Fig14Group{
+			Group:     gi + 1,
+			Units:     gp.Last - gp.First + 1,
+			Option:    gp.Option.String(),
+			Functions: gp.Option.Parts,
+			OnMaster:  gp.OnMaster,
+			WeightMB:  float64(ext.WeightBytes) / 1e6,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the figure as text.
+func (r *Fig14Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 14. Latency-optimal grouping of %s\n", r.Model)
+	sb.WriteString("group | units |     option | functions | master | weights/part (MB)\n")
+	for _, g := range r.Groups {
+		master := " "
+		if g.OnMaster {
+			master = "*"
+		}
+		fmt.Fprintf(&sb, "%5d | %5d | %10s | %9d | %6s | %8.0f\n",
+			g.Group, g.Units, g.Option, g.Functions, master, g.WeightMB)
+	}
+	return sb.String()
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"gillis/internal/models"
+	"gillis/internal/partition"
+	"gillis/internal/perf"
+	"gillis/internal/platform"
+)
+
+func benchModelAndUnits(b *testing.B, name string) (*perf.Model, []*partition.Unit) {
+	b.Helper()
+	m, err := perf.Build(platform.AWSLambda(), 1, 2, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := models.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units, err := partition.Linearize(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, units
+}
+
+func BenchmarkLatencyOptimalVGG16(b *testing.B) {
+	m, units := benchModelAndUnits(b, "vgg16")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LatencyOptimal(m, units, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSLOAwareEpisode(b *testing.B) {
+	m, units := benchModelAndUnits(b, "vgg16")
+	_, lo, err := LatencyOptimal(m, units, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One policy-gradient batch (10 rollouts) per iteration.
+		if _, err := SLOAware(m, units, lo.LatencyMs*2, SLOConfig{Episodes: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package core implements Gillis's model-partitioning algorithms — the
+// paper's primary contribution: the latency-optimal dynamic program with
+// master memory budgeting (§IV-B, Algorithm 1), the SLO-aware hierarchical
+// reinforcement learner that minimizes billed cost subject to a latency SLO
+// (§IV-C), and the brute-force baseline used to validate optimality on
+// small models (§V-C).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gillis/internal/partition"
+	"gillis/internal/perf"
+)
+
+// modelName recovers the model name from a unit chain (unit subgraphs are
+// named "<model>[i:j]").
+func modelName(units []*partition.Unit) string {
+	name := units[0].Sub.Name
+	if i := strings.IndexByte(name, '['); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Config tunes the planners.
+type Config struct {
+	// PartCounts is the worker fan-out grid (default {2,4,8,16}).
+	PartCounts []int
+	// MemStepMB discretizes the master memory budget in the DP (default 100).
+	MemStepMB int
+	// DisableMaster forbids master participation (ablation of the design
+	// choice in Fig. 4: "the master can also help to compute a partition").
+	DisableMaster bool
+	// DisableGrouping forces every unit into its own group (ablation of the
+	// coarse-grained parallelization of §III-C: layer-wise parallelization
+	// with no fusion).
+	DisableGrouping bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.PartCounts) == 0 {
+		c.PartCounts = partition.DefaultPartCounts
+	}
+	if c.MemStepMB <= 0 {
+		c.MemStepMB = 100
+	}
+	return c
+}
+
+// optionsFor enumerates candidate options for a group, including DimNone.
+func optionsFor(units []*partition.Unit, first, last int, partCounts []int) ([]partition.Option, error) {
+	return partition.FeasibleOptions(units, first, last, partCounts)
+}
+
+// predCache memoizes group predictions across a planning run.
+type predCache struct {
+	model *perf.Model
+	units []*partition.Unit
+	preds map[groupKey]perf.GroupPrediction
+	exts  map[extKey]partition.Extent
+}
+
+type groupKey struct {
+	first, last int
+	dim         partition.Dim
+	parts       int
+	onMaster    bool
+}
+
+type extKey struct {
+	first, last int
+	dim         partition.Dim
+	parts       int
+}
+
+func newPredCache(m *perf.Model, units []*partition.Unit) *predCache {
+	return &predCache{
+		model: m,
+		units: units,
+		preds: make(map[groupKey]perf.GroupPrediction),
+		exts:  make(map[extKey]partition.Extent),
+	}
+}
+
+func (pc *predCache) extent(first, last int, opt partition.Option) (partition.Extent, error) {
+	k := extKey{first, last, opt.Dim, opt.Parts}
+	if e, ok := pc.exts[k]; ok {
+		return e, nil
+	}
+	e, err := partition.GroupExtent(pc.units, first, last, opt)
+	if err != nil {
+		return partition.Extent{}, err
+	}
+	pc.exts[k] = e
+	return e, nil
+}
+
+func (pc *predCache) predict(gp partition.GroupPlan) (perf.GroupPrediction, error) {
+	k := groupKey{gp.First, gp.Last, gp.Option.Dim, gp.Option.Parts, gp.OnMaster}
+	if p, ok := pc.preds[k]; ok {
+		return p, nil
+	}
+	p, err := pc.model.PredictGroup(pc.units, gp)
+	if err != nil {
+		return perf.GroupPrediction{}, err
+	}
+	pc.preds[k] = p
+	return p, nil
+}
+
+// validateInputs checks planner preconditions shared by all algorithms.
+func validateInputs(m *perf.Model, units []*partition.Unit) error {
+	if m == nil {
+		return fmt.Errorf("core: nil performance model")
+	}
+	if len(units) == 0 {
+		return fmt.Errorf("core: no units to plan")
+	}
+	return nil
+}

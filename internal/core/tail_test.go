@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+// Tail SLOs (§VI extension): training against the predicted p99 must yield
+// a plan whose p99 — not just its mean — clears the threshold.
+func TestSLOAwareTailPercentile(t *testing.T) {
+	m := lambdaModel(t)
+	t.Parallel()
+	units := unitsOf(t, "vgg11")
+	_, lo, err := LatencyOptimal(m, units, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmax := lo.LatencyMs * 2
+	res, err := SLOAware(m, units, tmax, SLOConfig{Episodes: 500, Seed: 5, TailPercentile: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatalf("p99 SLO %.0f ms not met", tmax)
+	}
+	tail, err := m.PredictPlanTail(units, res.Plan, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.P99Ms > tmax*1.02 {
+		t.Fatalf("chosen plan's p99 %.0f exceeds SLO %.0f", tail.P99Ms, tmax)
+	}
+}
+
+// The mean-SLO and tail-SLO configurations must both reject nonsense input.
+func TestAblationConfigsProduceValidPlans(t *testing.T) {
+	m := lambdaModel(t)
+	units := unitsOf(t, "vgg16")
+	for _, cfg := range []Config{
+		{DisableMaster: true},
+		{DisableGrouping: true},
+		{DisableMaster: true, DisableGrouping: true},
+		{PartCounts: []int{8}},
+	} {
+		plan, pred, err := LatencyOptimal(m, units, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if err := plan.Validate(units); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if pred.OOM {
+			t.Fatalf("%+v: OOM", cfg)
+		}
+		if cfg.DisableMaster {
+			for _, gp := range plan.Groups {
+				if gp.OnMaster {
+					t.Fatalf("%+v: plan uses master", cfg)
+				}
+			}
+		}
+		if cfg.DisableGrouping {
+			for _, gp := range plan.Groups {
+				if gp.Last != gp.First {
+					t.Fatalf("%+v: plan groups units", cfg)
+				}
+			}
+		}
+	}
+}

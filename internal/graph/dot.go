@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visualization:
+// one node per operator (labelled with its name, kind and output shape) and
+// one edge per tensor dependency.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	shapes, err := g.Shapes()
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Name)
+	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	fmt.Fprintf(&sb, "  input [label=\"input %v\", shape=ellipse];\n", g.inShape)
+	for _, n := range g.nodes {
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%s %v\"];\n", n.ID, n.Op.Name(), n.Op.Kind(), shapes[n.ID])
+		for _, in := range n.Inputs {
+			if in == InputID {
+				fmt.Fprintf(&sb, "  input -> n%d;\n", n.ID)
+			} else {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", in, n.ID)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	_, err = io.WriteString(w, sb.String())
+	return err
+}

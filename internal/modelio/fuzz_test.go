@@ -1,0 +1,40 @@
+package modelio
+
+import (
+	"bytes"
+	"testing"
+
+	"gillis/internal/graph"
+	"gillis/internal/nn"
+)
+
+// FuzzLoad hardens the ONNX-lite reader against corrupt inputs: it must
+// return an error or a valid graph, never panic or over-allocate.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid archive and a few mutations.
+	g := graph.New("seed", []int{2, 4, 4})
+	g.MustAdd(nn.NewConv2D("c", 2, 3, 3, 1, 1))
+	g.MustAdd(nn.NewReLU("r"))
+	g.Init(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, true); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("GLSM"))
+	f.Add([]byte("GLSM\x00\x00\x00\x10{\"version\":1}"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that loads must be a valid graph.
+		if verr := loaded.Validate(); verr != nil {
+			t.Fatalf("Load returned invalid graph: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package modelio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"gillis/internal/graph"
+	"gillis/internal/models"
+	"gillis/internal/nn"
+	"gillis/internal/tensor"
+)
+
+// tinyModel exercises every serializable op kind.
+func tinyModel(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("tiny", []int{2, 8, 8})
+	stem := g.MustAdd(nn.NewConv2D("conv", 2, 4, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("bn", 4))
+	g.MustAdd(nn.NewReLU("relu"))
+	g.MustAdd(nn.NewMaxPool2D("mp", 2, 2, 0))
+	g.MustAdd(nn.NewAvgPool2D("ap", 2, 2))
+	short := g.MustAdd(nn.NewConv2D("short", 2, 4, 3, 4, 1), graph.InputID)
+	g.MustAdd(nn.NewAdd("add"), 4, short)
+	g.MustAdd(nn.NewGlobalAvgPool("gap"))
+	g.MustAdd(nn.NewDense("fc", 4, 6))
+	g.MustAdd(nn.NewSoftmax("sm"))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = stem
+	return g
+}
+
+func TestRoundtripWithWeights(t *testing.T) {
+	g := tinyModel(t)
+	g.Init(11)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name != g.Name || g2.Len() != g.Len() {
+		t.Fatalf("structure mismatch: %s/%d vs %s/%d", g2.Name, g2.Len(), g.Name, g.Len())
+	}
+	x := tensor.Full(0.3, 2, 8, 8)
+	want, err := g.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g2.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatal("loaded model must produce bitwise identical outputs")
+	}
+}
+
+func TestRoundtripSpecOnly(t *testing.T) {
+	g, err := models.VGG(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g, false); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ParamCount() != g.ParamCount() {
+		t.Fatalf("param counts differ: %d vs %d", g2.ParamCount(), g.ParamCount())
+	}
+	if g2.Initialized() {
+		t.Fatal("spec-only load must not have weights")
+	}
+	s1, err := g.OutShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := g2.OutShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEqual(s1, s2) {
+		t.Fatal("shapes differ after roundtrip")
+	}
+}
+
+func TestRoundtripRNN(t *testing.T) {
+	g, err := models.RNNCustom(2, 6, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Init(5)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Full(0.2, 4, 6)
+	want, _ := g.Forward(x)
+	got, err := g2.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatal("RNN roundtrip mismatch")
+	}
+}
+
+func TestSaveUninitializedWithWeightsFails(t *testing.T) {
+	g := tinyModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, true); err == nil {
+		t.Fatal("expected error for uninitialized weights")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("GLSM\xff\xff\xff\xff"),
+		[]byte("GLSM\x02\x00\x00\x00{}"),
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadTruncatedWeights(t *testing.T) {
+	g := tinyModel(t)
+	g.Init(3)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	g := tinyModel(t)
+	g.Init(7)
+	path := filepath.Join(t.TempDir(), "tiny.glsm")
+	if err := SaveFile(path, g, true); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatal("file roundtrip structure mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.glsm")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestRoundtripDepthwiseAndConcat(t *testing.T) {
+	g := graph.New("dwcat", []int{4, 8, 8})
+	in := g.MustAdd(nn.NewDepthwiseConv2D("dw", 4, 3, 1, 1))
+	b1 := g.MustAdd(nn.NewConv2D("b1", 4, 2, 1, 1, 0), in)
+	b2 := g.MustAdd(nn.NewConv2D("b2", 4, 3, 1, 1, 0), in)
+	g.MustAdd(nn.NewConcat("cat"), b1, b2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.Init(13)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Full(0.4, 4, 8, 8)
+	want, err := g.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g2.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatal("depthwise/concat roundtrip mismatch")
+	}
+	// A sliced depthwise op (Lo/Hi set) must survive serialization too.
+	sliced, err := nn.NewDepthwiseConv2D("dws", 6, 3, 1, 1).SliceChannels(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := graph.New("s", []int{6, 8, 8})
+	gs.MustAdd(sliced)
+	gs.Init(14)
+	buf.Reset()
+	if err := Save(&buf, gs, true); err != nil {
+		t.Fatal(err)
+	}
+	gs2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := tensor.Full(0.2, 6, 8, 8)
+	wantS, _ := gs.Forward(xs)
+	gotS, err := gs2.Forward(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(wantS, gotS) {
+		t.Fatal("sliced depthwise roundtrip mismatch")
+	}
+}

@@ -1,0 +1,215 @@
+// Package neural is a from-scratch micro neural-network library backing
+// Gillis's SLO-aware reinforcement-learning agents (§IV-C): two-layer
+// perceptrons with tanh hidden units, masked-softmax policies, REINFORCE
+// policy gradients, and an Adam optimizer. It replaces the deep-learning
+// framework the paper trains its partitioner/placer policies with.
+package neural
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a two-layer perceptron: logits = W2·tanh(W1·x + b1) + b2.
+type MLP struct {
+	in, hidden, out    int
+	w1, b1, w2, b2     []float64
+	gw1, gb1, gw2, gb2 []float64
+	opt                *Adam
+}
+
+// NewMLP creates a two-layer network with Xavier-style initialization.
+func NewMLP(rng *rand.Rand, in, hidden, out int, lr float64) *MLP {
+	m := &MLP{
+		in: in, hidden: hidden, out: out,
+		w1:  make([]float64, hidden*in),
+		b1:  make([]float64, hidden),
+		w2:  make([]float64, out*hidden),
+		b2:  make([]float64, out),
+		gw1: make([]float64, hidden*in),
+		gb1: make([]float64, hidden),
+		gw2: make([]float64, out*hidden),
+		gb2: make([]float64, out),
+	}
+	s1 := math.Sqrt(2.0 / float64(in+hidden))
+	for i := range m.w1 {
+		m.w1[i] = rng.NormFloat64() * s1
+	}
+	s2 := math.Sqrt(2.0 / float64(hidden+out))
+	for i := range m.w2 {
+		m.w2[i] = rng.NormFloat64() * s2
+	}
+	m.opt = NewAdam(lr, m.paramCount())
+	return m
+}
+
+func (m *MLP) paramCount() int {
+	return len(m.w1) + len(m.b1) + len(m.w2) + len(m.b2)
+}
+
+// Cache holds the activations of one forward pass for backprop.
+type Cache struct {
+	X      []float64
+	Hidden []float64
+	Logits []float64
+}
+
+// Forward computes logits for input x.
+func (m *MLP) Forward(x []float64) (*Cache, error) {
+	if len(x) != m.in {
+		return nil, fmt.Errorf("neural: input size %d, want %d", len(x), m.in)
+	}
+	c := &Cache{X: append([]float64(nil), x...)}
+	c.Hidden = make([]float64, m.hidden)
+	for h := 0; h < m.hidden; h++ {
+		acc := m.b1[h]
+		row := m.w1[h*m.in : (h+1)*m.in]
+		for i, v := range x {
+			acc += row[i] * v
+		}
+		c.Hidden[h] = math.Tanh(acc)
+	}
+	c.Logits = make([]float64, m.out)
+	for o := 0; o < m.out; o++ {
+		acc := m.b2[o]
+		row := m.w2[o*m.hidden : (o+1)*m.hidden]
+		for h, v := range c.Hidden {
+			acc += row[h] * v
+		}
+		c.Logits[o] = acc
+	}
+	return c, nil
+}
+
+// Backward accumulates parameter gradients for dLoss/dLogits.
+func (m *MLP) Backward(c *Cache, dlogits []float64) error {
+	if len(dlogits) != m.out {
+		return fmt.Errorf("neural: dlogits size %d, want %d", len(dlogits), m.out)
+	}
+	dh := make([]float64, m.hidden)
+	for o, d := range dlogits {
+		m.gb2[o] += d
+		row := m.w2[o*m.hidden : (o+1)*m.hidden]
+		grow := m.gw2[o*m.hidden : (o+1)*m.hidden]
+		for h, v := range c.Hidden {
+			grow[h] += d * v
+			dh[h] += d * row[h]
+		}
+	}
+	for h, d := range dh {
+		d *= 1 - c.Hidden[h]*c.Hidden[h] // tanh'
+		m.gb1[h] += d
+		grow := m.gw1[h*m.in : (h+1)*m.in]
+		for i, v := range c.X {
+			grow[i] += d * v
+		}
+	}
+	return nil
+}
+
+// Step applies accumulated gradients with Adam and zeroes them.
+func (m *MLP) Step() {
+	params := [][]float64{m.w1, m.b1, m.w2, m.b2}
+	grads := [][]float64{m.gw1, m.gb1, m.gw2, m.gb2}
+	m.opt.Step(params, grads)
+	for _, g := range grads {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), as used by the paper to update
+// both policy networks.
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+	m, v                  []float64
+}
+
+// NewAdam creates an optimizer for a parameter vector of size n.
+func NewAdam(lr float64, n int) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: make([]float64, n), v: make([]float64, n)}
+}
+
+// Step applies one update across the parameter groups (flattened in order).
+func (a *Adam) Step(params, grads [][]float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	idx := 0
+	for gi, p := range params {
+		g := grads[gi]
+		for i := range p {
+			a.m[idx] = a.beta1*a.m[idx] + (1-a.beta1)*g[i]
+			a.v[idx] = a.beta2*a.v[idx] + (1-a.beta2)*g[i]*g[i]
+			mh := a.m[idx] / c1
+			vh := a.v[idx] / c2
+			p[i] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+			idx++
+		}
+	}
+}
+
+// MaskedSoftmax returns softmax probabilities with masked-out entries forced
+// to zero. At least one entry must be allowed.
+func MaskedSoftmax(logits []float64, allowed []bool) ([]float64, error) {
+	if len(logits) != len(allowed) {
+		return nil, fmt.Errorf("neural: logits/mask length mismatch %d/%d", len(logits), len(allowed))
+	}
+	mx := math.Inf(-1)
+	any := false
+	for i, ok := range allowed {
+		if ok {
+			any = true
+			if logits[i] > mx {
+				mx = logits[i]
+			}
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("neural: all actions masked")
+	}
+	probs := make([]float64, len(logits))
+	var sum float64
+	for i, ok := range allowed {
+		if ok {
+			probs[i] = math.Exp(logits[i] - mx)
+			sum += probs[i]
+		}
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs, nil
+}
+
+// Sample draws an index from a probability vector.
+func Sample(rng *rand.Rand, probs []float64) int {
+	r := rng.Float64()
+	var acc float64
+	last := 0
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		last = i
+		if r < acc {
+			return i
+		}
+	}
+	return last // guard against rounding
+}
+
+// PolicyGrad returns dLoss/dLogits for REINFORCE with the given advantage:
+// loss = -advantage * log π(action), so dlogits = advantage*(π - onehot).
+func PolicyGrad(probs []float64, action int, advantage float64) []float64 {
+	d := make([]float64, len(probs))
+	for i, p := range probs {
+		d[i] = advantage * p
+	}
+	d[action] -= advantage
+	return d
+}

@@ -1,0 +1,182 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardShapeChecks(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(1)), 3, 4, 2, 0.01)
+	if _, err := m.Forward([]float64{1, 2}); err == nil {
+		t.Fatal("expected input-size error")
+	}
+	c, err := m.Forward([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Logits) != 2 || len(c.Hidden) != 4 {
+		t.Fatal("bad cache shapes")
+	}
+	if err := m.Backward(c, []float64{1}); err == nil {
+		t.Fatal("expected dlogits-size error")
+	}
+}
+
+// Gradient check: numerical vs analytic on a scalar loss L = sum(logits²)/2.
+func TestBackwardGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 3, 5, 2, 0.01)
+	x := []float64{0.3, -0.7, 1.1}
+
+	loss := func() float64 {
+		c, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l float64
+		for _, v := range c.Logits {
+			l += v * v / 2
+		}
+		return l
+	}
+	c, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Backward(c, c.Logits); err != nil { // dL/dlogits = logits
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	check := func(params, grads []float64, name string) {
+		for _, i := range []int{0, len(params) / 2, len(params) - 1} {
+			orig := params[i]
+			params[i] = orig + eps
+			lp := loss()
+			params[i] = orig - eps
+			lm := loss()
+			params[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-grads[i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: numeric %v vs analytic %v", name, i, numeric, grads[i])
+			}
+		}
+	}
+	check(m.w1, m.gw1, "w1")
+	check(m.b1, m.gb1, "b1")
+	check(m.w2, m.gw2, "w2")
+	check(m.b2, m.gb2, "b2")
+}
+
+// End-to-end: REINFORCE on a trivial contextual bandit must learn to pick
+// the rewarded action.
+func TestREINFORCELearnsBandit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 2, 8, 3, 0.05)
+	allowed := []bool{true, true, true}
+	// Context [1,0] rewards action 2; context [0,1] rewards action 0.
+	baseline := 0.0
+	for ep := 0; ep < 800; ep++ {
+		x := []float64{1, 0}
+		best := 2
+		if ep%2 == 1 {
+			x = []float64{0, 1}
+			best = 0
+		}
+		c, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs, err := MaskedSoftmax(c.Logits, allowed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Sample(rng, probs)
+		reward := 0.0
+		if a == best {
+			reward = 1
+		}
+		adv := reward - baseline
+		baseline = 0.95*baseline + 0.05*reward
+		if err := m.Backward(c, PolicyGrad(probs, a, adv)); err != nil {
+			t.Fatal(err)
+		}
+		m.Step()
+	}
+	for _, tc := range []struct {
+		x    []float64
+		best int
+	}{{[]float64{1, 0}, 2}, {[]float64{0, 1}, 0}} {
+		c, _ := m.Forward(tc.x)
+		probs, _ := MaskedSoftmax(c.Logits, allowed)
+		if probs[tc.best] < 0.8 {
+			t.Fatalf("bandit not learned: context %v probs %v", tc.x, probs)
+		}
+	}
+}
+
+func TestMaskedSoftmax(t *testing.T) {
+	probs, err := MaskedSoftmax([]float64{1, 2, 3}, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[1] != 0 {
+		t.Fatal("masked entry must be zero")
+	}
+	if math.Abs(probs[0]+probs[2]-1) > 1e-12 {
+		t.Fatal("probs must sum to 1")
+	}
+	if probs[2] <= probs[0] {
+		t.Fatal("higher logit must get higher probability")
+	}
+	if _, err := MaskedSoftmax([]float64{1}, []bool{false}); err == nil {
+		t.Fatal("expected all-masked error")
+	}
+	if _, err := MaskedSoftmax([]float64{1}, []bool{true, true}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	// Numerical stability with huge logits.
+	probs, err = MaskedSoftmax([]float64{1000, 999}, []bool{true, true})
+	if err != nil || math.IsNaN(probs[0]) {
+		t.Fatalf("unstable softmax: %v %v", probs, err)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	probs := []float64{0.2, 0, 0.8}
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[Sample(rng, probs)]++
+	}
+	if counts[1] != 0 {
+		t.Fatal("zero-probability action sampled")
+	}
+	if math.Abs(float64(counts[2])/10000-0.8) > 0.03 {
+		t.Fatalf("sample frequencies off: %v", counts)
+	}
+}
+
+func TestPolicyGradDirection(t *testing.T) {
+	probs := []float64{0.25, 0.75}
+	d := PolicyGrad(probs, 0, 2.0)
+	// Positive advantage: gradient must push chosen action's logit up
+	// (negative dlogit since we descend).
+	if d[0] >= 0 || d[1] <= 0 {
+		t.Fatalf("unexpected gradient %v", d)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (p-3)² with Adam.
+	p := []float64{0.0}
+	g := []float64{0.0}
+	opt := NewAdam(0.1, 1)
+	for i := 0; i < 500; i++ {
+		g[0] = 2 * (p[0] - 3)
+		opt.Step([][]float64{p}, [][]float64{g})
+	}
+	if math.Abs(p[0]-3) > 0.01 {
+		t.Fatalf("Adam did not converge: %v", p[0])
+	}
+}

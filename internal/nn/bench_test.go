@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"gillis/internal/tensor"
+)
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D("c", 32, 32, 3, 1, 1)
+	c.Init(rng)
+	x := tensor.Rand(rng, 1, 32, 28, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDepthwiseConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDepthwiseConv2D("d", 64, 3, 1, 1)
+	d.Init(rng)
+	x := tensor.Rand(rng, 1, 64, 28, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSTMForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM("l", 128, 128)
+	l.Init(rng)
+	x := tensor.Rand(rng, 1, 16, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense("d", 2048, 1000)
+	d.Init(rng)
+	x := tensor.Rand(rng, 1, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

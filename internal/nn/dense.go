@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gillis/internal/tensor"
+)
+
+// Dense is a fully connected layer mapping a rank-1 input of size In to a
+// rank-1 output of size Out.
+type Dense struct {
+	OpName string
+	In     int
+	Out    int
+
+	// W has shape [Out, In]; B has shape [Out].
+	W *tensor.Tensor
+	B *tensor.Tensor
+}
+
+var (
+	_ Weighted         = (*Dense)(nil)
+	_ ChannelSliceable = (*Dense)(nil)
+)
+
+// NewDense constructs an uninitialized fully connected layer.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{OpName: name, In: in, Out: out}
+}
+
+// Name implements Op.
+func (d *Dense) Name() string { return d.OpName }
+
+// Kind implements Op.
+func (d *Dense) Kind() Kind { return KindDense }
+
+// OutShape implements Op.
+func (d *Dense) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("Dense", len(in)); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if err := checkRank("Dense", s, 1); err != nil {
+		return nil, err
+	}
+	if s[0] != d.In {
+		return nil, fmt.Errorf("nn: Dense %q expects input size %d, got %d", d.OpName, d.In, s[0])
+	}
+	return []int{d.Out}, nil
+}
+
+// FLOPs implements Op.
+func (d *Dense) FLOPs(in ...[]int) int64 {
+	if _, err := d.OutShape(in...); err != nil {
+		return 0
+	}
+	return 2*int64(d.In)*int64(d.Out) + int64(d.Out)
+}
+
+// ParamCount implements Op.
+func (d *Dense) ParamCount() int64 { return int64(d.In)*int64(d.Out) + int64(d.Out) }
+
+// Init implements Op.
+func (d *Dense) Init(rng *rand.Rand) {
+	scale := float32(math.Sqrt(2 / float64(d.In)))
+	d.W = tensor.Rand(rng, scale, d.Out, d.In)
+	d.B = tensor.Rand(rng, 0.01, d.Out)
+}
+
+// Initialized implements Op.
+func (d *Dense) Initialized() bool { return d.W != nil && d.B != nil }
+
+// Weights implements Weighted.
+func (d *Dense) Weights() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// SetWeights implements Weighted.
+func (d *Dense) SetWeights(ws []*tensor.Tensor) error {
+	if len(ws) != 2 {
+		return fmt.Errorf("nn: Dense %q expects 2 weight tensors, got %d", d.OpName, len(ws))
+	}
+	if !tensor.ShapeEqual(ws[0].Shape(), []int{d.Out, d.In}) {
+		return fmt.Errorf("nn: Dense %q weight shape %v mismatch", d.OpName, ws[0].Shape())
+	}
+	if !tensor.ShapeEqual(ws[1].Shape(), []int{d.Out}) {
+		return fmt.Errorf("nn: Dense %q bias shape %v mismatch", d.OpName, ws[1].Shape())
+	}
+	d.W, d.B = ws[0], ws[1]
+	return nil
+}
+
+// Forward implements Op.
+func (d *Dense) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkOneInput("Dense", len(in)); err != nil {
+		return nil, err
+	}
+	if !d.Initialized() {
+		return nil, fmt.Errorf("nn: Dense %q has no weights", d.OpName)
+	}
+	x := in[0]
+	if x.Rank() != 1 || x.Dim(0) != d.In {
+		return nil, fmt.Errorf("nn: Dense %q bad input %v", d.OpName, x.Shape())
+	}
+	out := tensor.New(d.Out)
+	xd, wd, bd, od := x.Data(), d.W.Data(), d.B.Data(), out.Data()
+	for o := 0; o < d.Out; o++ {
+		acc := bd[o]
+		row := wd[o*d.In : (o+1)*d.In]
+		for i, v := range xd {
+			acc += row[i] * v
+		}
+		od[o] = acc
+	}
+	return out, nil
+}
+
+// OutChannels implements ChannelSliceable.
+func (d *Dense) OutChannels() int { return d.Out }
+
+// SliceChannels implements ChannelSliceable: the returned layer computes
+// output features [start, end) from the full input.
+func (d *Dense) SliceChannels(start, end int) (Op, error) {
+	if start < 0 || end > d.Out || start >= end {
+		return nil, fmt.Errorf("nn: Dense %q channel slice [%d,%d) out of range %d", d.OpName, start, end, d.Out)
+	}
+	out := NewDense(fmt.Sprintf("%s[%d:%d]", d.OpName, start, end), d.In, end-start)
+	if d.Initialized() {
+		w, err := d.W.SliceDim(0, start, end)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.B.SliceDim(0, start, end)
+		if err != nil {
+			return nil, err
+		}
+		out.W, out.B = w, b
+	}
+	return out, nil
+}
+
+// Flatten reshapes any input into a rank-1 tensor.
+type Flatten struct {
+	OpName string
+}
+
+var _ Op = (*Flatten)(nil)
+
+// NewFlatten constructs a flatten operator.
+func NewFlatten(name string) *Flatten { return &Flatten{OpName: name} }
+
+// Name implements Op.
+func (f *Flatten) Name() string { return f.OpName }
+
+// Kind implements Op.
+func (f *Flatten) Kind() Kind { return KindFlatten }
+
+// OutShape implements Op.
+func (f *Flatten) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("Flatten", len(in)); err != nil {
+		return nil, err
+	}
+	return []int{int(prod(in[0]))}, nil
+}
+
+// FLOPs implements Op.
+func (f *Flatten) FLOPs(in ...[]int) int64 { return 0 }
+
+// ParamCount implements Op.
+func (f *Flatten) ParamCount() int64 { return 0 }
+
+// Init implements Op.
+func (f *Flatten) Init(*rand.Rand) {}
+
+// Initialized implements Op.
+func (f *Flatten) Initialized() bool { return true }
+
+// Forward implements Op.
+func (f *Flatten) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkOneInput("Flatten", len(in)); err != nil {
+		return nil, err
+	}
+	return in[0].Clone().Reshape(in[0].Len())
+}

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gillis/internal/tensor"
+)
+
+// KindDepthwiseConv identifies the DepthwiseConv2D operator.
+const KindDepthwiseConv Kind = 102
+
+// DepthwiseConv2D convolves each input channel with its own square filter
+// (the MobileNet building block). Output channel c depends only on input
+// channel c, so the operator is both spatially local and channel-sliceable;
+// a channel slice carries the (Lo, Hi) window and extracts its input
+// channels itself, since the runtime ships the full input to channel
+// partitions.
+type DepthwiseConv2D struct {
+	OpName string
+	C      int
+	Kernel int
+	Stride int
+	Pad    int
+
+	// Lo/Hi select the input-channel window of a channel slice; (0, C) for
+	// the unsliced operator.
+	Lo, Hi int
+
+	// W has shape [Hi-Lo, Kernel, Kernel]; B has shape [Hi-Lo].
+	W *tensor.Tensor
+	B *tensor.Tensor
+}
+
+var (
+	_ Weighted         = (*DepthwiseConv2D)(nil)
+	_ Spatial          = (*DepthwiseConv2D)(nil)
+	_ ChannelSliceable = (*DepthwiseConv2D)(nil)
+)
+
+// NewDepthwiseConv2D constructs an uninitialized depthwise convolution.
+func NewDepthwiseConv2D(name string, c, kernel, stride, pad int) *DepthwiseConv2D {
+	return &DepthwiseConv2D{OpName: name, C: c, Kernel: kernel, Stride: stride, Pad: pad, Lo: 0, Hi: c}
+}
+
+// Name implements Op.
+func (d *DepthwiseConv2D) Name() string { return d.OpName }
+
+// Kind implements Op.
+func (d *DepthwiseConv2D) Kind() Kind { return KindDepthwiseConv }
+
+func (d *DepthwiseConv2D) span() int { return d.Hi - d.Lo }
+
+// OutShape implements Op. The input always carries all C channels; a slice
+// produces only its window's channels.
+func (d *DepthwiseConv2D) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("DepthwiseConv2D", len(in)); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if err := checkRank("DepthwiseConv2D", s, 3); err != nil {
+		return nil, err
+	}
+	if s[0] != d.C {
+		return nil, fmt.Errorf("nn: DepthwiseConv2D %q expects %d channels, got %d", d.OpName, d.C, s[0])
+	}
+	oh := convOutDim(s[1], d.Kernel, d.Stride, d.Pad)
+	ow := convOutDim(s[2], d.Kernel, d.Stride, d.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: DepthwiseConv2D %q output empty for input %v", d.OpName, s)
+	}
+	return []int{d.span(), oh, ow}, nil
+}
+
+// FLOPs implements Op.
+func (d *DepthwiseConv2D) FLOPs(in ...[]int) int64 {
+	out, err := d.OutShape(in...)
+	if err != nil {
+		return 0
+	}
+	return 2*int64(out[0])*int64(d.Kernel*d.Kernel)*int64(out[1])*int64(out[2]) + prod(out)
+}
+
+// ParamCount implements Op.
+func (d *DepthwiseConv2D) ParamCount() int64 {
+	return int64(d.span())*int64(d.Kernel*d.Kernel) + int64(d.span())
+}
+
+// Init implements Op.
+func (d *DepthwiseConv2D) Init(rng *rand.Rand) {
+	scale := float32(math.Sqrt(2 / float64(d.Kernel*d.Kernel)))
+	d.W = tensor.Rand(rng, scale, d.span(), d.Kernel, d.Kernel)
+	d.B = tensor.Rand(rng, 0.01, d.span())
+}
+
+// Initialized implements Op.
+func (d *DepthwiseConv2D) Initialized() bool { return d.W != nil && d.B != nil }
+
+// Weights implements Weighted.
+func (d *DepthwiseConv2D) Weights() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// SetWeights implements Weighted.
+func (d *DepthwiseConv2D) SetWeights(ws []*tensor.Tensor) error {
+	if len(ws) != 2 {
+		return fmt.Errorf("nn: DepthwiseConv2D %q expects 2 weight tensors, got %d", d.OpName, len(ws))
+	}
+	if !tensor.ShapeEqual(ws[0].Shape(), []int{d.span(), d.Kernel, d.Kernel}) ||
+		!tensor.ShapeEqual(ws[1].Shape(), []int{d.span()}) {
+		return fmt.Errorf("nn: DepthwiseConv2D %q weight shape mismatch", d.OpName)
+	}
+	d.W, d.B = ws[0], ws[1]
+	return nil
+}
+
+// Forward implements Op.
+func (d *DepthwiseConv2D) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return d.forward(in, true)
+}
+
+// HKernel implements Spatial.
+func (d *DepthwiseConv2D) HKernel() (k, s, p int) { return d.Kernel, d.Stride, d.Pad }
+
+// ForwardValidH implements Spatial.
+func (d *DepthwiseConv2D) ForwardValidH(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return d.forward(in, false)
+}
+
+func (d *DepthwiseConv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error) {
+	if err := checkOneInput("DepthwiseConv2D", len(in)); err != nil {
+		return nil, err
+	}
+	if !d.Initialized() {
+		return nil, fmt.Errorf("nn: DepthwiseConv2D %q has no weights", d.OpName)
+	}
+	x := in[0]
+	if x.Rank() != 3 || x.Dim(0) != d.C {
+		return nil, fmt.Errorf("nn: DepthwiseConv2D %q bad input %v", d.OpName, x.Shape())
+	}
+	var err error
+	if d.Lo != 0 || d.Hi != d.C {
+		x, err = x.SliceDim(0, d.Lo, d.Hi)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if d.Pad > 0 {
+		x, err = x.PadDim(2, d.Pad, d.Pad)
+		if err != nil {
+			return nil, err
+		}
+		if padH {
+			x, err = x.PadDim(1, d.Pad, d.Pad)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	span, h, w := d.span(), x.Dim(1), x.Dim(2)
+	oh := (h-d.Kernel)/d.Stride + 1
+	ow := (w-d.Kernel)/d.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: DepthwiseConv2D %q empty output", d.OpName)
+	}
+	out := tensor.New(span, oh, ow)
+	xd, wd, bd, od := x.Data(), d.W.Data(), d.B.Data(), out.Data()
+	k := d.Kernel
+	for c := 0; c < span; c++ {
+		bias := bd[c]
+		wBase := c * k * k
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy * d.Stride
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox * d.Stride
+				acc := bias
+				for ky := 0; ky < k; ky++ {
+					xRow := (c*h+iy0+ky)*w + ix0
+					wRow := wBase + ky*k
+					for kx := 0; kx < k; kx++ {
+						acc += xd[xRow+kx] * wd[wRow+kx]
+					}
+				}
+				od[(c*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// OutChannels implements ChannelSliceable.
+func (d *DepthwiseConv2D) OutChannels() int { return d.span() }
+
+// SliceChannels implements ChannelSliceable: the slice keeps filters
+// [start, end) of this operator's window and extracts the matching input
+// channels itself.
+func (d *DepthwiseConv2D) SliceChannels(start, end int) (Op, error) {
+	if start < 0 || end > d.span() || start >= end {
+		return nil, fmt.Errorf("nn: DepthwiseConv2D %q channel slice [%d,%d) out of range %d", d.OpName, start, end, d.span())
+	}
+	out := NewDepthwiseConv2D(fmt.Sprintf("%s[%d:%d]", d.OpName, start, end), d.C, d.Kernel, d.Stride, d.Pad)
+	out.Lo, out.Hi = d.Lo+start, d.Lo+end
+	if d.Initialized() {
+		w, err := d.W.SliceDim(0, start, end)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.B.SliceDim(0, start, end)
+		if err != nil {
+			return nil, err
+		}
+		out.W, out.B = w, b
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gillis/internal/tensor"
+)
+
+// LSTM is a single unidirectional LSTM layer unrolled over a [T, InSize]
+// input sequence, producing the [T, Hidden] sequence of hidden states.
+// Gate order in the stacked weight matrices is (input, forget, cell, output).
+//
+// Recurrent layers have no local spatial response — each output step depends
+// on the whole prefix — so LSTM deliberately does not implement Spatial or
+// ChannelSliceable: Gillis can place an LSTM stack across functions (serial
+// rounds) but cannot tensor-partition it, exactly as in the paper (§V-B).
+type LSTM struct {
+	OpName string
+	InSize int
+	Hidden int
+
+	// Wx has shape [4*Hidden, InSize]; Wh has shape [4*Hidden, Hidden];
+	// B has shape [4*Hidden].
+	Wx *tensor.Tensor
+	Wh *tensor.Tensor
+	B  *tensor.Tensor
+}
+
+var _ Weighted = (*LSTM)(nil)
+
+// NewLSTM constructs an uninitialized LSTM layer.
+func NewLSTM(name string, inSize, hidden int) *LSTM {
+	return &LSTM{OpName: name, InSize: inSize, Hidden: hidden}
+}
+
+// Name implements Op.
+func (l *LSTM) Name() string { return l.OpName }
+
+// Kind implements Op.
+func (l *LSTM) Kind() Kind { return KindLSTM }
+
+// OutShape implements Op.
+func (l *LSTM) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("LSTM", len(in)); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if err := checkRank("LSTM", s, 2); err != nil {
+		return nil, err
+	}
+	if s[1] != l.InSize {
+		return nil, fmt.Errorf("nn: LSTM %q expects input size %d, got %d", l.OpName, l.InSize, s[1])
+	}
+	return []int{s[0], l.Hidden}, nil
+}
+
+// FLOPs implements Op.
+func (l *LSTM) FLOPs(in ...[]int) int64 {
+	s, err := l.OutShape(in...)
+	if err != nil {
+		return 0
+	}
+	t := int64(s[0])
+	h := int64(l.Hidden)
+	x := int64(l.InSize)
+	// Per step: two matmuls (4h×x and 4h×h), plus gate nonlinearities and
+	// element-wise state updates (~10 ops per hidden unit).
+	return t * (2*4*h*x + 2*4*h*h + 10*h)
+}
+
+// ParamCount implements Op.
+func (l *LSTM) ParamCount() int64 {
+	h := int64(l.Hidden)
+	return 4*h*int64(l.InSize) + 4*h*h + 4*h
+}
+
+// Init implements Op.
+func (l *LSTM) Init(rng *rand.Rand) {
+	sx := float32(math.Sqrt(1 / float64(l.InSize)))
+	sh := float32(math.Sqrt(1 / float64(l.Hidden)))
+	l.Wx = tensor.Rand(rng, sx, 4*l.Hidden, l.InSize)
+	l.Wh = tensor.Rand(rng, sh, 4*l.Hidden, l.Hidden)
+	l.B = tensor.Rand(rng, 0.01, 4*l.Hidden)
+}
+
+// Initialized implements Op.
+func (l *LSTM) Initialized() bool { return l.Wx != nil && l.Wh != nil && l.B != nil }
+
+// Weights implements Weighted.
+func (l *LSTM) Weights() []*tensor.Tensor { return []*tensor.Tensor{l.Wx, l.Wh, l.B} }
+
+// SetWeights implements Weighted.
+func (l *LSTM) SetWeights(ws []*tensor.Tensor) error {
+	if len(ws) != 3 {
+		return fmt.Errorf("nn: LSTM %q expects 3 weight tensors, got %d", l.OpName, len(ws))
+	}
+	if !tensor.ShapeEqual(ws[0].Shape(), []int{4 * l.Hidden, l.InSize}) ||
+		!tensor.ShapeEqual(ws[1].Shape(), []int{4 * l.Hidden, l.Hidden}) ||
+		!tensor.ShapeEqual(ws[2].Shape(), []int{4 * l.Hidden}) {
+		return fmt.Errorf("nn: LSTM %q weight shape mismatch", l.OpName)
+	}
+	l.Wx, l.Wh, l.B = ws[0], ws[1], ws[2]
+	return nil
+}
+
+// Forward implements Op, starting from zero initial hidden and cell states.
+func (l *LSTM) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkOneInput("LSTM", len(in)); err != nil {
+		return nil, err
+	}
+	if !l.Initialized() {
+		return nil, fmt.Errorf("nn: LSTM %q has no weights", l.OpName)
+	}
+	x := in[0]
+	if x.Rank() != 2 || x.Dim(1) != l.InSize {
+		return nil, fmt.Errorf("nn: LSTM %q bad input %v", l.OpName, x.Shape())
+	}
+	steps := x.Dim(0)
+	h := l.Hidden
+	out := tensor.New(steps, h)
+	xd, od := x.Data(), out.Data()
+	wx, wh, bias := l.Wx.Data(), l.Wh.Data(), l.B.Data()
+
+	hState := make([]float32, h)
+	cState := make([]float32, h)
+	gates := make([]float32, 4*h)
+	for t := 0; t < steps; t++ {
+		xt := xd[t*l.InSize : (t+1)*l.InSize]
+		for g := 0; g < 4*h; g++ {
+			acc := bias[g]
+			rowX := wx[g*l.InSize : (g+1)*l.InSize]
+			for i, v := range xt {
+				acc += rowX[i] * v
+			}
+			rowH := wh[g*h : (g+1)*h]
+			for i, v := range hState {
+				acc += rowH[i] * v
+			}
+			gates[g] = acc
+		}
+		for j := 0; j < h; j++ {
+			ig := sigmoid(gates[j])
+			fg := sigmoid(gates[h+j])
+			gg := float32(math.Tanh(float64(gates[2*h+j])))
+			og := sigmoid(gates[3*h+j])
+			cState[j] = fg*cState[j] + ig*gg
+			hState[j] = og * float32(math.Tanh(float64(cState[j])))
+		}
+		copy(od[t*h:(t+1)*h], hState)
+	}
+	return out, nil
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}

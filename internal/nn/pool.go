@@ -1,0 +1,300 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gillis/internal/tensor"
+)
+
+// MaxPool2D is a 2-D max pooling operator with a square window. Padding
+// positions act as -inf, matching standard framework semantics.
+type MaxPool2D struct {
+	OpName string
+	Kernel int
+	Stride int
+	Pad    int
+}
+
+var _ Spatial = (*MaxPool2D)(nil)
+
+// NewMaxPool2D constructs a max-pooling operator.
+func NewMaxPool2D(name string, kernel, stride, pad int) *MaxPool2D {
+	return &MaxPool2D{OpName: name, Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// Name implements Op.
+func (m *MaxPool2D) Name() string { return m.OpName }
+
+// Kind implements Op.
+func (m *MaxPool2D) Kind() Kind { return KindMaxPool }
+
+// OutShape implements Op.
+func (m *MaxPool2D) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("MaxPool2D", len(in)); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if err := checkRank("MaxPool2D", s, 3); err != nil {
+		return nil, err
+	}
+	oh := convOutDim(s[1], m.Kernel, m.Stride, m.Pad)
+	ow := convOutDim(s[2], m.Kernel, m.Stride, m.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: MaxPool2D %q output is empty for input %v", m.OpName, s)
+	}
+	return []int{s[0], oh, ow}, nil
+}
+
+// FLOPs implements Op (one compare per window element).
+func (m *MaxPool2D) FLOPs(in ...[]int) int64 {
+	out, err := m.OutShape(in...)
+	if err != nil {
+		return 0
+	}
+	return prod(out) * int64(m.Kernel*m.Kernel)
+}
+
+// ParamCount implements Op.
+func (m *MaxPool2D) ParamCount() int64 { return 0 }
+
+// Init implements Op.
+func (m *MaxPool2D) Init(*rand.Rand) {}
+
+// Initialized implements Op.
+func (m *MaxPool2D) Initialized() bool { return true }
+
+// Forward implements Op.
+func (m *MaxPool2D) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return m.pool(in, true)
+}
+
+// HKernel implements Spatial.
+func (m *MaxPool2D) HKernel() (k, s, p int) { return m.Kernel, m.Stride, m.Pad }
+
+// ForwardValidH implements Spatial.
+func (m *MaxPool2D) ForwardValidH(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return m.pool(in, false)
+}
+
+func (m *MaxPool2D) pool(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error) {
+	if err := checkOneInput("MaxPool2D", len(in)); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("nn: MaxPool2D %q bad input %v", m.OpName, x.Shape())
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	padTop := 0
+	if padH {
+		padTop = m.Pad
+	}
+	// Output size over the (virtually) padded extent.
+	hExt := h + 2*padTop
+	wExt := w + 2*m.Pad
+	oh := (hExt-m.Kernel)/m.Stride + 1
+	ow := (wExt-m.Kernel)/m.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: MaxPool2D %q empty output for input %v", m.OpName, x.Shape())
+	}
+	out := tensor.New(c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	negInf := float32(math.Inf(-1))
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*m.Stride - padTop
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*m.Stride - m.Pad
+				best := negInf
+				for ky := 0; ky < m.Kernel; ky++ {
+					y := iy0 + ky
+					if y < 0 || y >= h {
+						continue
+					}
+					row := (ci*h + y) * w
+					for kx := 0; kx < m.Kernel; kx++ {
+						xx := ix0 + kx
+						if xx < 0 || xx >= w {
+							continue
+						}
+						if v := xd[row+xx]; v > best {
+							best = v
+						}
+					}
+				}
+				od[(ci*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	return out, nil
+}
+
+// AvgPool2D is a 2-D average pooling operator without padding support (the
+// benchmark models never average-pool with padding).
+type AvgPool2D struct {
+	OpName string
+	Kernel int
+	Stride int
+}
+
+var _ Spatial = (*AvgPool2D)(nil)
+
+// NewAvgPool2D constructs an average-pooling operator.
+func NewAvgPool2D(name string, kernel, stride int) *AvgPool2D {
+	return &AvgPool2D{OpName: name, Kernel: kernel, Stride: stride}
+}
+
+// Name implements Op.
+func (a *AvgPool2D) Name() string { return a.OpName }
+
+// Kind implements Op.
+func (a *AvgPool2D) Kind() Kind { return KindAvgPool }
+
+// OutShape implements Op.
+func (a *AvgPool2D) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("AvgPool2D", len(in)); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if err := checkRank("AvgPool2D", s, 3); err != nil {
+		return nil, err
+	}
+	oh := convOutDim(s[1], a.Kernel, a.Stride, 0)
+	ow := convOutDim(s[2], a.Kernel, a.Stride, 0)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: AvgPool2D %q output is empty for input %v", a.OpName, s)
+	}
+	return []int{s[0], oh, ow}, nil
+}
+
+// FLOPs implements Op.
+func (a *AvgPool2D) FLOPs(in ...[]int) int64 {
+	out, err := a.OutShape(in...)
+	if err != nil {
+		return 0
+	}
+	return prod(out) * int64(a.Kernel*a.Kernel)
+}
+
+// ParamCount implements Op.
+func (a *AvgPool2D) ParamCount() int64 { return 0 }
+
+// Init implements Op.
+func (a *AvgPool2D) Init(*rand.Rand) {}
+
+// Initialized implements Op.
+func (a *AvgPool2D) Initialized() bool { return true }
+
+// Forward implements Op.
+func (a *AvgPool2D) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return a.ForwardValidH(in...)
+}
+
+// HKernel implements Spatial.
+func (a *AvgPool2D) HKernel() (k, s, p int) { return a.Kernel, a.Stride, 0 }
+
+// ForwardValidH implements Spatial (identical to Forward: no padding).
+func (a *AvgPool2D) ForwardValidH(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkOneInput("AvgPool2D", len(in)); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("nn: AvgPool2D %q bad input %v", a.OpName, x.Shape())
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh := (h-a.Kernel)/a.Stride + 1
+	ow := (w-a.Kernel)/a.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: AvgPool2D %q empty output for input %v", a.OpName, x.Shape())
+	}
+	out := tensor.New(c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	norm := 1 / float32(a.Kernel*a.Kernel)
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc float32
+				for ky := 0; ky < a.Kernel; ky++ {
+					row := (ci*h + oy*a.Stride + ky) * w
+					for kx := 0; kx < a.Kernel; kx++ {
+						acc += xd[row+ox*a.Stride+kx]
+					}
+				}
+				od[(ci*oh+oy)*ow+ox] = acc * norm
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool averages each channel's full feature map, producing a rank-1
+// tensor of per-channel means.
+type GlobalAvgPool struct {
+	OpName string
+}
+
+var _ Op = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool constructs a global average pooling operator.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{OpName: name} }
+
+// Name implements Op.
+func (g *GlobalAvgPool) Name() string { return g.OpName }
+
+// Kind implements Op.
+func (g *GlobalAvgPool) Kind() Kind { return KindGlobalAvgPool }
+
+// OutShape implements Op.
+func (g *GlobalAvgPool) OutShape(in ...[]int) ([]int, error) {
+	if err := checkOneInput("GlobalAvgPool", len(in)); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if err := checkRank("GlobalAvgPool", s, 3); err != nil {
+		return nil, err
+	}
+	return []int{s[0]}, nil
+}
+
+// FLOPs implements Op.
+func (g *GlobalAvgPool) FLOPs(in ...[]int) int64 {
+	if len(in) != 1 || len(in[0]) != 3 {
+		return 0
+	}
+	return prod(in[0])
+}
+
+// ParamCount implements Op.
+func (g *GlobalAvgPool) ParamCount() int64 { return 0 }
+
+// Init implements Op.
+func (g *GlobalAvgPool) Init(*rand.Rand) {}
+
+// Initialized implements Op.
+func (g *GlobalAvgPool) Initialized() bool { return true }
+
+// Forward implements Op.
+func (g *GlobalAvgPool) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkOneInput("GlobalAvgPool", len(in)); err != nil {
+		return nil, err
+	}
+	x := in[0]
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("nn: GlobalAvgPool %q bad input %v", g.OpName, x.Shape())
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(c)
+	xd, od := x.Data(), out.Data()
+	norm := 1 / float32(h*w)
+	for ci := 0; ci < c; ci++ {
+		var acc float32
+		for i := ci * h * w; i < (ci+1)*h*w; i++ {
+			acc += xd[i]
+		}
+		od[ci] = acc * norm
+	}
+	return out, nil
+}

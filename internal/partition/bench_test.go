@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"testing"
+
+	"gillis/internal/models"
+)
+
+func benchUnits(b *testing.B, name string) []*Unit {
+	b.Helper()
+	g, err := models.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units, err := Linearize(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return units
+}
+
+func BenchmarkLinearizeResNet50(b *testing.B) {
+	g, err := models.ResNet(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Linearize(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpatialSlices16(b *testing.B) {
+	units := benchUnits(b, "vgg16")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpatialSlices(units[:6], 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupExtentSpatial(b *testing.B) {
+	units := benchUnits(b, "wrn34-5")
+	opt := Option{Dim: DimSpatial, Parts: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupExtent(units, 0, 5, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"gillis/internal/graph"
+	"gillis/internal/models"
+	"gillis/internal/nn"
+	"gillis/internal/tensor"
+)
+
+// dwBlock builds a depthwise-separable block: dw3x3 + bn + relu + pw1x1 +
+// bn + relu.
+func dwBlock(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("dsblock", []int{6, 20, 20})
+	g.MustAdd(nn.NewDepthwiseConv2D("dw", 6, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("dw_bn", 6))
+	g.MustAdd(nn.NewReLU("dw_relu"))
+	g.MustAdd(nn.NewConv2D("pw", 6, 10, 1, 1, 0))
+	g.MustAdd(nn.NewBatchNorm("pw_bn", 10))
+	g.MustAdd(nn.NewReLU("pw_relu"))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.Init(21)
+	return g
+}
+
+func TestDepthwiseUnitsCapabilities(t *testing.T) {
+	units := linearized(t, dwBlock(t))
+	if len(units) != 2 {
+		t.Fatalf("expected 2 units (dw+bn+relu, pw+bn+relu), got %d", len(units))
+	}
+	for i, u := range units {
+		if !u.Spatial || !u.Channel {
+			t.Errorf("unit %d should be spatial+channel: %v", i, u)
+		}
+	}
+}
+
+func TestDepthwiseSpatialExactness(t *testing.T) {
+	g := dwBlock(t)
+	units := linearized(t, g)
+	x := tensor.Rand(rand.New(rand.NewSource(22)), 1, 6, 20, 20)
+	want, err := g.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 4} {
+		got, err := ExecSpatial(units, parts, x)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !tensor.Equal(want, got) {
+			t.Fatalf("parts=%d: depthwise spatial partition mismatch", parts)
+		}
+	}
+}
+
+func TestDepthwiseChannelExactness(t *testing.T) {
+	g := dwBlock(t)
+	units := linearized(t, g)
+	x := tensor.Rand(rand.New(rand.NewSource(23)), 1, 6, 20, 20)
+	// The depthwise unit (unit 0): channel partition must be exact even
+	// though each slice extracts its own input channels.
+	want, err := units[0].Sub.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{2, 3} {
+		got, err := ExecChannel(units[0], parts, x)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !tensor.Equal(want, got) {
+			t.Fatalf("parts=%d: depthwise channel partition mismatch", parts)
+		}
+	}
+	// Channel slices hold proportionally fewer weights.
+	slices, err := ChannelSlices(units[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, cs := range slices {
+		total += cs.ParamBytes
+	}
+	if total != units[0].ParamBytes {
+		t.Fatalf("slice weights %d should sum to unit weights %d", total, units[0].ParamBytes)
+	}
+}
+
+func TestMobileNetMiniLinearizesAndPartitions(t *testing.T) {
+	g, err := models.ByName("mobilenet-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	units := linearized(t, g)
+	// Stem + 6 blocks × 2 convs + gap + fc + softmax ≈ 16 units.
+	if len(units) < 14 || len(units) > 18 {
+		t.Fatalf("unexpected unit count %d", len(units))
+	}
+	dwUnits := 0
+	for _, u := range units {
+		if u.Sub.Node(0).Op.Kind() == nn.KindDepthwiseConv {
+			dwUnits++
+			if !u.Channel || !u.Spatial {
+				t.Errorf("depthwise unit %s should be spatial+channel", u.Name)
+			}
+		}
+	}
+	if dwUnits != 6 {
+		t.Fatalf("expected 6 depthwise units, got %d", dwUnits)
+	}
+	out, err := g.OutShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1000 {
+		t.Fatalf("output shape %v", out)
+	}
+}

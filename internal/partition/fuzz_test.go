@@ -1,0 +1,43 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadPlan hardens the plan reader: arbitrary JSON must either load
+// into a structurally sane plan or fail cleanly.
+func FuzzLoadPlan(f *testing.F) {
+	good := &Plan{Model: "m", Groups: []GroupPlan{
+		{First: 0, Last: 2, Option: Option{Dim: DimSpatial, Parts: 4}, OnMaster: true},
+	}}
+	var buf bytes.Buffer
+	if err := good.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"model":"x","groups":[]}`)
+	f.Add(`{"model":"x","groups":[{"dim":"channel","parts":-4}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"groups":[{"first":9e9}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := LoadPlan(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, gp := range p.Groups {
+			switch gp.Option.Dim {
+			case DimNone, DimSpatial, DimChannel:
+			default:
+				t.Fatalf("loaded plan has invalid dim %v", gp.Option.Dim)
+			}
+		}
+		// A loaded plan must survive re-serialization.
+		var out bytes.Buffer
+		if err := p.Save(&out); err != nil {
+			t.Fatalf("loaded plan failed to save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// planJSON is the stable on-disk representation of a Plan.
+type planJSON struct {
+	Model  string      `json:"model"`
+	Groups []groupJSON `json:"groups"`
+}
+
+type groupJSON struct {
+	First    int    `json:"first"`
+	Last     int    `json:"last"`
+	Dim      string `json:"dim"` // "none", "spatial", "channel"
+	Parts    int    `json:"parts"`
+	OnMaster bool   `json:"onMaster"`
+}
+
+// Save writes the plan as JSON.
+func (p *Plan) Save(w io.Writer) error {
+	out := planJSON{Model: p.Model}
+	for _, gp := range p.Groups {
+		out.Groups = append(out.Groups, groupJSON{
+			First: gp.First, Last: gp.Last,
+			Dim: gp.Option.Dim.String(), Parts: gp.Option.Parts,
+			OnMaster: gp.OnMaster,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadPlan reads a plan written by Save. Callers should Validate it against
+// the model's units before deploying.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("partition: decode plan: %w", err)
+	}
+	p := &Plan{Model: in.Model}
+	for i, g := range in.Groups {
+		var dim Dim
+		switch g.Dim {
+		case "none":
+			dim = DimNone
+		case "spatial":
+			dim = DimSpatial
+		case "channel":
+			dim = DimChannel
+		default:
+			return nil, fmt.Errorf("partition: plan group %d has unknown dim %q", i, g.Dim)
+		}
+		p.Groups = append(p.Groups, GroupPlan{
+			First: g.First, Last: g.Last,
+			Option:   Option{Dim: dim, Parts: g.Parts},
+			OnMaster: g.OnMaster,
+		})
+	}
+	return p, nil
+}
+
+// SavePlanFile writes the plan to path.
+func SavePlanFile(path string, p *Plan) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return p.Save(f)
+}
+
+// LoadPlanFile reads a plan from path.
+func LoadPlanFile(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadPlan(f)
+}

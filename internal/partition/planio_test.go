@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPlanRoundtrip(t *testing.T) {
+	units := linearized(t, tinyCNN(t))
+	plan := &Plan{Model: "tiny", Groups: []GroupPlan{
+		{First: 0, Last: 1, Option: Option{Dim: DimSpatial, Parts: 4}, OnMaster: true},
+		{First: 2, Last: 2, Option: Option{Dim: DimSpatial, Parts: 2}},
+		{First: 3, Last: 3, Option: Option{Dim: DimNone, Parts: 1}, OnMaster: true},
+	}}
+	if err := plan.Validate(units); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"spatial"`) {
+		t.Fatalf("dims should serialize as strings:\n%s", buf.String())
+	}
+	back, err := LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(units); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != plan.String() {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", back, plan)
+	}
+}
+
+func TestPlanFileRoundtripAndErrors(t *testing.T) {
+	plan := &Plan{Model: "m", Groups: []GroupPlan{
+		{First: 0, Last: 0, Option: Option{Dim: DimChannel, Parts: 8}},
+	}}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SavePlanFile(path, plan); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPlanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Groups[0].Option.Dim != DimChannel || back.Groups[0].Option.Parts != 8 {
+		t.Fatalf("roundtrip lost option: %+v", back.Groups[0])
+	}
+	if _, err := LoadPlanFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+	if _, err := LoadPlan(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"model":"m","groups":[{"dim":"diagonal"}]}`)); err == nil {
+		t.Fatal("expected unknown-dim error")
+	}
+}

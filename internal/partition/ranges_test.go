@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gillis/internal/graph"
+	"gillis/internal/nn"
+	"gillis/internal/tensor"
+)
+
+func TestRowRangeBasics(t *testing.T) {
+	a := RowRange{2, 5}
+	if a.Len() != 3 {
+		t.Fatal("len")
+	}
+	if got := a.union(RowRange{4, 9}); got != (RowRange{2, 9}) {
+		t.Fatalf("union %v", got)
+	}
+	if got := a.union(RowRange{}); got != a {
+		t.Fatalf("union with empty %v", got)
+	}
+	if got := (RowRange{}).union(a); got != a {
+		t.Fatalf("empty union %v", got)
+	}
+	if got := (RowRange{-3, 12}).clip(10); got != (RowRange{0, 10}) {
+		t.Fatalf("clip %v", got)
+	}
+	if got := (RowRange{8, 4}).clip(10); got.Len() != 0 {
+		t.Fatalf("degenerate clip %v", got)
+	}
+}
+
+func TestInRangeForOutGolden(t *testing.T) {
+	cases := []struct {
+		out     RowRange
+		k, s, p int
+		want    RowRange
+	}{
+		// 3x3 stride-1 pad-1 conv: one-row halo each side.
+		{RowRange{4, 8}, 3, 1, 1, RowRange{3, 9}},
+		// 1x1: identity.
+		{RowRange{4, 8}, 1, 1, 0, RowRange{4, 8}},
+		// 7x7 stride-2 pad-3 stem: out rows [0,2) need rows [-3, 6).
+		{RowRange{0, 2}, 7, 2, 3, RowRange{-3, 6}},
+		// 2x2 stride-2 pool.
+		{RowRange{3, 5}, 2, 2, 0, RowRange{6, 10}},
+	}
+	for _, c := range cases {
+		if got := inRangeForOut(c.out, c.k, c.s, c.p); got != c.want {
+			t.Errorf("inRangeForOut(%v,%d,%d,%d) = %v, want %v", c.out, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: partitions' output ranges tile the output exactly and their
+// summed FLOPs are at least the monolithic FLOPs.
+func TestSpatialSlicesTileAndRedundancy(t *testing.T) {
+	f := func(seed int64, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 10 + rng.Intn(20)
+		g := graph.New("p", []int{2, h, h})
+		g.MustAdd(nn.NewConv2D("c1", 2, 3, 3, 1, 1))
+		g.MustAdd(nn.NewReLU("r1"))
+		g.MustAdd(nn.NewConv2D("c2", 3, 2, 3, 1, 1))
+		units, err := Linearize(g)
+		if err != nil {
+			return false
+		}
+		outH := units[len(units)-1].OutHeight()
+		parts := 1 + int(partsRaw)%5
+		if parts > outH {
+			parts = outH
+		}
+		slices, err := SpatialSlices(units, parts)
+		if err != nil {
+			return false
+		}
+		at := 0
+		var total int64
+		for _, ps := range slices {
+			if ps.OutRows.Lo != at {
+				return false // gap or overlap in the output tiling
+			}
+			at = ps.OutRows.Hi
+			total += ps.FLOPs
+		}
+		if at != outH {
+			return false
+		}
+		var mono int64
+		for _, u := range units {
+			mono += u.FLOPs
+		}
+		return total >= mono
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Diamond-topology property: residual blocks with random depths still
+// linearize into valid units whose chain forward matches the graph.
+func TestLinearizeDiamondProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 2 + rng.Intn(3)
+		h := 12 + rng.Intn(8)
+		g := graph.New("d", []int{c, h, h})
+		last := g.MustAdd(nn.NewConv2D("stem", c, c, 3, 1, 1))
+		blocks := 1 + rng.Intn(3)
+		for b := 0; b < blocks; b++ {
+			// Main path of 1-3 convs, identity shortcut, then Add.
+			depth := 1 + rng.Intn(3)
+			cur := last
+			for d := 0; d < depth; d++ {
+				cur = g.MustAdd(nn.NewConv2D(opName("b", b*10+d), c, c, 3, 1, 1), cur)
+			}
+			last = g.MustAdd(nn.NewAdd(opName("add", b)), cur, last)
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		g.Init(seed)
+		units, err := Linearize(g)
+		if err != nil {
+			return false
+		}
+		// Every block collapses: expect 1 stem unit + `blocks` block units.
+		if len(units) != 1+blocks {
+			return false
+		}
+		x := tensor.Rand(rng, 1, c, h, h)
+		want, err := g.Forward(x)
+		if err != nil {
+			return false
+		}
+		got, err := ForwardChain(units, x)
+		if err != nil {
+			return false
+		}
+		if !tensor.Equal(want, got) {
+			return false
+		}
+		// And the partitioned path agrees too.
+		got3, err := ExecSpatial(units, 3, x)
+		if err != nil {
+			return false
+		}
+		return tensor.Equal(want, got3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelSubgraphUninitialized(t *testing.T) {
+	g := graph.New("c", []int{3, 8, 8})
+	g.MustAdd(nn.NewConv2D("conv", 3, 8, 3, 1, 1))
+	g.MustAdd(nn.NewReLU("relu"))
+	units, err := Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without weights: the subgraph is still constructible (for memory
+	// accounting) and reports sliced parameter counts.
+	sub, err := ChannelSubgraph(units[0], 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Initialized() {
+		t.Fatal("sliced op should be uninitialized")
+	}
+	want := nn.NewConv2D("x", 3, 4, 3, 1, 1).ParamCount()
+	if sub.ParamCount() != want {
+		t.Fatalf("sliced params %d, want %d", sub.ParamCount(), want)
+	}
+	if _, err := ChannelSubgraph(units[0], 5, 3); err == nil {
+		t.Fatal("expected bad-range error")
+	}
+}

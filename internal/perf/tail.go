@@ -1,0 +1,145 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"gillis/internal/partition"
+)
+
+// TailPrediction summarizes a sampled latency distribution for a plan.
+type TailPrediction struct {
+	MeanMs float64
+	P50Ms  float64
+	P95Ms  float64
+	P99Ms  float64
+}
+
+// PredictPlanTail estimates the latency distribution of a plan by Monte
+// Carlo over the fitted EMG communication overheads and the platform's
+// compute noise. This extends the paper's mean-latency SLOs to the tail
+// SLOs discussed as future work in §VI: the same RL machinery applies once
+// the tail can be predicted.
+func (m *Model) PredictPlanTail(units []*partition.Unit, plan *partition.Plan, trials int) (TailPrediction, error) {
+	if err := plan.Validate(units); err != nil {
+		return TailPrediction{}, err
+	}
+	if trials < 100 {
+		trials = 100
+	}
+	// Precompute deterministic per-group structure once.
+	type groupSim struct {
+		local    bool    // whole group on the master
+		baseMs   float64 // monolithic compute time
+		offsets  []float64
+		comps    []float64
+		masterMs float64
+		downEff  float64
+		remoteUp float64 // DimNone-on-worker upload
+	}
+	sims := make([]groupSim, 0, len(plan.Groups))
+	for _, gp := range plan.Groups {
+		pred, err := m.PredictGroup(units, gp)
+		if err != nil {
+			return TailPrediction{}, err
+		}
+		gs := groupSim{downEff: pred.DownloadMs}
+		baseMs, err := m.GroupComputeMs(units, gp.First, gp.Last)
+		if err != nil {
+			return TailPrediction{}, err
+		}
+		gs.baseMs = baseMs
+		switch {
+		case gp.Option.Dim == partition.DimNone && gp.OnMaster:
+			gs.local = true
+		case gp.Option.Dim == partition.DimNone:
+			gs.remoteUp = pred.UploadMs
+			gs.comps = []float64{baseMs}
+		default:
+			groupFLOPs := int64(0)
+			for _, u := range units[gp.First : gp.Last+1] {
+				groupFLOPs += u.FLOPs
+			}
+			var parts []struct{ flops, in int64 }
+			switch gp.Option.Dim {
+			case partition.DimSpatial:
+				slices, err := partition.SpatialSlices(units[gp.First:gp.Last+1], gp.Option.Parts)
+				if err != nil {
+					return TailPrediction{}, err
+				}
+				for _, ps := range slices {
+					parts = append(parts, struct{ flops, in int64 }{ps.FLOPs, ps.InBytes})
+				}
+			case partition.DimChannel:
+				slices, err := partition.ChannelSlices(units[gp.First], gp.Option.Parts)
+				if err != nil {
+					return TailPrediction{}, err
+				}
+				for _, cs := range slices {
+					parts = append(parts, struct{ flops, in int64 }{cs.FLOPs, cs.InBytes})
+				}
+			}
+			scale := func(fl int64) float64 {
+				if groupFLOPs == 0 {
+					return 0
+				}
+				return baseMs * float64(fl) / float64(groupFLOPs)
+			}
+			workerParts := parts
+			if gp.OnMaster {
+				gs.masterMs = scale(parts[0].flops)
+				workerParts = parts[1:]
+			}
+			var up float64
+			for _, wp := range workerParts {
+				up += m.cfg.RequestOverheadMs + m.TransferMs(wp.in)
+				gs.offsets = append(gs.offsets, up)
+				gs.comps = append(gs.comps, scale(wp.flops))
+			}
+		}
+		sims = append(sims, gs)
+	}
+
+	noise := func(rng *rand.Rand) float64 {
+		if m.cfg.ComputeNoise <= 0 {
+			return 1
+		}
+		return math.Exp(rng.NormFloat64() * m.cfg.ComputeNoise)
+	}
+	rng := rand.New(rand.NewSource(0x7461696c))
+	lat := make([]float64, trials)
+	for t := range lat {
+		var total float64
+		for _, gs := range sims {
+			switch {
+			case gs.local:
+				total += gs.baseMs * noise(rng)
+			case gs.remoteUp > 0:
+				total += gs.remoteUp + m.comm.Sample(rng) + gs.comps[0]*noise(rng) + gs.downEff
+			default:
+				worst := gs.masterMs * noise(rng)
+				for i, off := range gs.offsets {
+					v := off + m.comm.Sample(rng) + gs.comps[i]*noise(rng)
+					if v > worst {
+						worst = v
+					}
+				}
+				total += worst + gs.downEff
+			}
+		}
+		lat[t] = total
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(trials-1))] }
+	var mean float64
+	for _, v := range lat {
+		mean += v
+	}
+	return TailPrediction{
+		MeanMs: mean / float64(trials),
+		P50Ms:  q(0.50),
+		P95Ms:  q(0.95),
+		P99Ms:  q(0.99),
+	}, nil
+}

@@ -1,0 +1,67 @@
+package perf
+
+import (
+	"testing"
+
+	"gillis/internal/partition"
+)
+
+func TestPredictPlanTailOrdering(t *testing.T) {
+	m := lambda(t)
+	units := unitsOf(t, "vgg16")
+	plan := &partition.Plan{Model: "vgg16", Groups: []partition.GroupPlan{
+		{First: 0, Last: 5, Option: partition.Option{Dim: partition.DimSpatial, Parts: 4}, OnMaster: true},
+		{First: 6, Last: len(units) - 1, Option: partition.Option{Dim: partition.DimNone, Parts: 1}, OnMaster: true},
+	}}
+	tail, err := m.PredictPlanTail(units, plan, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tail.P50Ms <= tail.P95Ms && tail.P95Ms <= tail.P99Ms) {
+		t.Fatalf("quantiles out of order: %+v", tail)
+	}
+	if tail.MeanMs <= 0 {
+		t.Fatal("mean must be positive")
+	}
+	// The sampled mean should track the analytic prediction.
+	pred, err := m.PredictPlan(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (tail.MeanMs - pred.LatencyMs) / pred.LatencyMs
+	if rel < -0.1 || rel > 0.1 {
+		t.Fatalf("sampled mean %.0f vs analytic %.0f (%.1f%%)", tail.MeanMs, pred.LatencyMs, rel*100)
+	}
+	// Parallel groups have nontrivial tails: p99 strictly above p50.
+	if tail.P99Ms <= tail.P50Ms {
+		t.Fatal("p99 should exceed p50 for a plan with fork-join rounds")
+	}
+}
+
+func TestPredictPlanTailDeterministic(t *testing.T) {
+	m := lambda(t)
+	units := unitsOf(t, "vgg11")
+	plan := &partition.Plan{Model: "vgg11", Groups: []partition.GroupPlan{
+		{First: 0, Last: len(units) - 1, Option: partition.Option{Dim: partition.DimNone, Parts: 1}, OnMaster: true},
+	}}
+	a, err := m.PredictPlanTail(units, plan, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.PredictPlanTail(units, plan, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("tail prediction must be deterministic")
+	}
+}
+
+func TestPredictPlanTailRejectsBadPlan(t *testing.T) {
+	m := lambda(t)
+	units := unitsOf(t, "vgg11")
+	bad := &partition.Plan{Groups: []partition.GroupPlan{{First: 1, Last: 2, Option: partition.Option{Dim: partition.DimNone, Parts: 1}}}}
+	if _, err := m.PredictPlanTail(units, bad, 100); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

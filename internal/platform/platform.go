@@ -1,0 +1,456 @@
+// Package platform simulates serverless FaaS platforms — AWS Lambda, Google
+// Cloud Functions, and KNIX — on top of the simnet discrete-event kernel.
+// It models the properties that matter to Gillis's partitioning decisions:
+// per-instance memory ceilings, effective compute throughput, per-function
+// network bandwidth (request payloads serialize on the invoker's uplink),
+// EMG-distributed invocation overhead (as measured by the paper in §IV-A),
+// cold versus warm starts, billed-duration accounting at the platform's
+// billing granularity, and S3-like object storage for the Pipeline
+// baseline.
+//
+// The real clouds are substituted by this simulator (see DESIGN.md); the
+// partitioning algorithms consume only profiled performance models, in the
+// paper and here alike, so algorithmic behaviour is preserved.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gillis/internal/simnet"
+	"gillis/internal/stats"
+)
+
+// Config describes one serverless platform.
+type Config struct {
+	Name string
+	// MemoryMB is the per-instance memory ceiling.
+	MemoryMB int
+	// WeightBudgetMB is the usable model-weight budget M per function after
+	// OS, runtime, and activation overheads (1400 MB in §V-A).
+	WeightBudgetMB int
+	// GFLOPS is the effective single-instance compute throughput.
+	GFLOPS float64
+	// MemGBps is the effective memory bandwidth: operators pay
+	// bytesTouched/MemGBps on top of their FLOP time.
+	MemGBps float64
+	// OpOverheadMs is the fixed per-operator dispatch cost.
+	OpOverheadMs float64
+	// NetMBps is the per-function network bandwidth for request/response
+	// payloads.
+	NetMBps float64
+	// RequestOverheadMs is the caller-side CPU cost of issuing one REST
+	// invocation (payload serialization, connection handling); it serializes
+	// on the caller's uplink, so wide fan-outs pay it per worker.
+	RequestOverheadMs float64
+	// InvokeOverhead is the REST invocation overhead distribution in
+	// milliseconds.
+	InvokeOverhead stats.EMG
+	// BillingGranMs is the billing granularity in milliseconds (1 for
+	// Lambda, 100 for Google Cloud Functions).
+	BillingGranMs int64
+	// ColdStartMs is the instance cold-start penalty.
+	ColdStartMs float64
+	// StorageMBps and StorageLatencyMs model S3-like object storage.
+	StorageMBps      float64
+	StorageLatencyMs float64
+	// ComputeNoise is the lognormal sigma applied to compute durations.
+	ComputeNoise float64
+}
+
+// AWSLambda returns the AWS Lambda profile used in the paper's experiments
+// (3 GB instances, 1 ms billing).
+func AWSLambda() Config {
+	return Config{
+		Name:              "lambda",
+		MemoryMB:          3008,
+		WeightBudgetMB:    1400,
+		GFLOPS:            20,
+		MemGBps:           8,
+		OpOverheadMs:      0.05,
+		NetMBps:           40, // ~320 Mb/s (§II-B measures ~300 Mb/s per function)
+		RequestOverheadMs: 2.5,
+		InvokeOverhead:    stats.EMG{Mu: 12, Sigma: 3, Lambda: 0.125},
+		BillingGranMs:     1,
+		ColdStartMs:       180,
+		StorageMBps:       85,
+		StorageLatencyMs:  30,
+		ComputeNoise:      0.02,
+	}
+}
+
+// GoogleCloudFunctions returns the GCF profile (4 GB instances, more CPU per
+// instance than Lambda, 100 ms billing, slower network).
+func GoogleCloudFunctions() Config {
+	return Config{
+		Name:              "gcf",
+		MemoryMB:          4096,
+		WeightBudgetMB:    1900, // 4 GB instances host more weights than Lambda's 3 GB
+		GFLOPS:            26,
+		MemGBps:           10,
+		OpOverheadMs:      0.05,
+		NetMBps:           37.5, // ~300 Mb/s (§II-B)
+		RequestOverheadMs: 3,
+		InvokeOverhead:    stats.EMG{Mu: 20, Sigma: 5, Lambda: 0.08},
+		BillingGranMs:     100,
+		ColdStartMs:       300,
+		StorageMBps:       50,
+		StorageLatencyMs:  40,
+		ComputeNoise:      0.02,
+	}
+}
+
+// KNIX returns the KNIX profile: function resources matched to a Lambda
+// instance (§V-A) but with compute-collocated storage giving much faster
+// function interactions.
+func KNIX() Config {
+	return Config{
+		Name:              "knix",
+		MemoryMB:          3008,
+		WeightBudgetMB:    1400,
+		GFLOPS:            20,
+		MemGBps:           8,
+		OpOverheadMs:      0.05,
+		NetMBps:           250, // Redis-backed local data plane
+		RequestOverheadMs: 1,
+		InvokeOverhead:    stats.EMG{Mu: 2.5, Sigma: 0.6, Lambda: 0.8},
+		BillingGranMs:     1,
+		ColdStartMs:       80,
+		StorageMBps:       300,
+		StorageLatencyMs:  2,
+		ComputeNoise:      0.02,
+	}
+}
+
+// ByName returns a platform profile by name.
+func ByName(name string) (Config, error) {
+	switch name {
+	case "lambda":
+		return AWSLambda(), nil
+	case "gcf":
+		return GoogleCloudFunctions(), nil
+	case "knix":
+		return KNIX(), nil
+	}
+	return Config{}, fmt.Errorf("platform: unknown platform %q", name)
+}
+
+// Payload is a request or response body: an explicit wire size plus an
+// arbitrary in-simulation value (e.g. a tensor, or a shape-only
+// descriptor).
+type Payload struct {
+	Bytes int64
+	Data  any
+}
+
+// Handler is the code of a serverless function.
+type Handler func(ctx *Ctx, payload Payload) (Payload, error)
+
+// InvokeResult reports one completed invocation.
+type InvokeResult struct {
+	Resp Payload
+	// HandlerMs is the billed-duration basis: handler execution time.
+	HandlerMs float64
+	// BilledMs is HandlerMs rounded up to the billing granularity.
+	BilledMs int64
+	// TotalBilledMs adds the billed durations of all nested invocations.
+	TotalBilledMs int64
+	// OverheadMs, UploadMs and DownloadMs decompose the communication cost
+	// seen by the caller.
+	OverheadMs, UploadMs, DownloadMs float64
+	// ColdStart reports whether this invocation paid a cold start.
+	ColdStart bool
+}
+
+// functionDef is a registered function with its warm-instance pool.
+type functionDef struct {
+	name    string
+	handler Handler
+	warm    int
+}
+
+// Platform is one simulated serverless deployment.
+type Platform struct {
+	cfg Config
+	env *simnet.Env
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	fns     map[string]*functionDef
+	storage map[string]Object
+	invoked int64
+}
+
+// Object is an entry in the platform's object storage.
+type Object struct {
+	Bytes int64
+	Data  any
+}
+
+// New creates a platform simulation bound to env.
+func New(env *simnet.Env, cfg Config, seed int64) *Platform {
+	return &Platform{
+		cfg:     cfg,
+		env:     env,
+		rng:     rand.New(rand.NewSource(seed)),
+		fns:     make(map[string]*functionDef),
+		storage: make(map[string]Object),
+	}
+}
+
+// Config returns the platform profile.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Env returns the simulation environment.
+func (p *Platform) Env() *simnet.Env { return p.env }
+
+// Register deploys a function under the given name.
+func (p *Platform) Register(name string, h Handler) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.fns[name]; ok {
+		return fmt.Errorf("platform: function %q already registered", name)
+	}
+	p.fns[name] = &functionDef{name: name, handler: h}
+	return nil
+}
+
+// Prewarm adds n warm instances of the function, modeling the paper's
+// warm-up pings (§III-A); the amortized ping cost is ignored, as in the
+// paper.
+func (p *Platform) Prewarm(name string, n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.fns[name]
+	if !ok {
+		return fmt.Errorf("platform: prewarm of unknown function %q", name)
+	}
+	f.warm += n
+	return nil
+}
+
+// Invocations returns the total number of completed invocations.
+func (p *Platform) Invocations() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.invoked
+}
+
+// Ctx is the execution context of one running function instance.
+type Ctx struct {
+	platform *Platform
+	proc     *simnet.Proc
+	fnName   string
+	uplink   *simnet.Resource
+	downlink *simnet.Resource
+	start    time.Duration
+	children int64 // billed ms accumulated from nested invocations
+}
+
+// Platform returns the hosting platform.
+func (c *Ctx) Platform() *Platform { return c.platform }
+
+// Proc returns the simnet process executing this function.
+func (c *Ctx) Proc() *simnet.Proc { return c.proc }
+
+// FunctionName returns the name this instance serves.
+func (c *Ctx) FunctionName() string { return c.fnName }
+
+// MemoryMB returns the instance memory ceiling.
+func (c *Ctx) MemoryMB() int { return c.platform.cfg.MemoryMB }
+
+// Compute advances virtual time by the duration of flops floating-point
+// operations at the platform's effective throughput, with multiplicative
+// lognormal noise.
+func (c *Ctx) Compute(flops int64) { c.ComputeOp(flops, 0) }
+
+// ComputeOp advances virtual time for one operator execution: FLOP time at
+// the platform's throughput, plus memory-bandwidth time for bytesTouched,
+// plus the fixed operator dispatch overhead, with multiplicative lognormal
+// noise.
+func (c *Ctx) ComputeOp(flops, bytesTouched int64) {
+	cfg := c.platform.cfg
+	sec := float64(flops) / (cfg.GFLOPS * 1e9)
+	if cfg.MemGBps > 0 {
+		sec += float64(bytesTouched) / (cfg.MemGBps * 1e9)
+	}
+	sec += cfg.OpOverheadMs / 1000
+	if sec <= 0 {
+		return
+	}
+	noise := 1.0
+	if s := cfg.ComputeNoise; s > 0 {
+		c.platform.mu.Lock()
+		noise = math.Exp(c.platform.rng.NormFloat64() * s)
+		c.platform.mu.Unlock()
+	}
+	c.proc.Sleep(time.Duration(sec * noise * float64(time.Second)))
+}
+
+// Invoke synchronously invokes another function and waits for its result.
+func (c *Ctx) Invoke(name string, payload Payload) (InvokeResult, error) {
+	return c.InvokeAsync(name, payload).Wait(c.proc)
+}
+
+// InvokeAsync starts an invocation and returns a promise for its result.
+// The request payload serializes on this instance's uplink and the response
+// on its downlink, reproducing the synchronization overhead that makes very
+// wide fan-outs counterproductive on Lambda (Fig. 7).
+func (c *Ctx) InvokeAsync(name string, payload Payload) *simnet.Promise[InvokeResult] {
+	return c.platform.invokeAsync(c, name, payload)
+}
+
+// StorageGet fetches an object, charging storage latency plus transfer time.
+func (c *Ctx) StorageGet(key string) (Object, error) {
+	p := c.platform
+	p.mu.Lock()
+	obj, ok := p.storage[key]
+	p.mu.Unlock()
+	if !ok {
+		return Object{}, fmt.Errorf("platform: storage object %q not found", key)
+	}
+	c.proc.Sleep(msToDur(p.cfg.StorageLatencyMs + float64(obj.Bytes)/1e6/p.cfg.StorageMBps*1000))
+	return obj, nil
+}
+
+// StoragePut uploads an object, charging storage latency plus transfer time.
+func (c *Ctx) StoragePut(key string, obj Object) {
+	p := c.platform
+	c.proc.Sleep(msToDur(p.cfg.StorageLatencyMs + float64(obj.Bytes)/1e6/p.cfg.StorageMBps*1000))
+	p.mu.Lock()
+	p.storage[key] = obj
+	p.mu.Unlock()
+}
+
+// Seed stores an object directly (no simulated time), for experiment setup.
+func (p *Platform) Seed(key string, obj Object) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.storage[key] = obj
+}
+
+// InvokeFrom invokes a function from a plain simulation process (an external
+// client): invocation overhead and payload transfer still apply, but no
+// uplink serialization, since the client is not a constrained function.
+func (p *Platform) InvokeFrom(proc *simnet.Proc, name string, payload Payload) (InvokeResult, error) {
+	return p.invokeAsync(nil, name, payload).Wait(proc)
+}
+
+func (p *Platform) invokeAsync(from *Ctx, name string, payload Payload) *simnet.Promise[InvokeResult] {
+	promise := simnet.NewPromise[InvokeResult](p.env)
+	p.env.Go("invoke:"+name, func(proc *simnet.Proc) {
+		res, err := p.runInvocation(proc, from, name, payload)
+		if err != nil {
+			promise.Fail(err)
+			return
+		}
+		promise.Resolve(res)
+	})
+	return promise
+}
+
+func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payload Payload) (InvokeResult, error) {
+	p.mu.Lock()
+	f, ok := p.fns[name]
+	p.mu.Unlock()
+	if !ok {
+		return InvokeResult{}, fmt.Errorf("platform: invoke of unknown function %q", name)
+	}
+
+	var res InvokeResult
+
+	// Request issuance + upload: function callers pay the per-request CPU
+	// cost and serialize on their uplink; external clients only pay the
+	// transfer.
+	upMs := float64(payload.Bytes) / 1e6 / p.cfg.NetMBps * 1000
+	before := proc.Now()
+	if from != nil {
+		from.uplink.Acquire(proc)
+		proc.Sleep(msToDur(p.cfg.RequestOverheadMs + upMs))
+		from.uplink.Release()
+	} else {
+		proc.Sleep(msToDur(upMs))
+	}
+	res.UploadMs = durToMs(proc.Now() - before)
+
+	// Invocation dispatch overhead (EMG, §IV-A).
+	p.mu.Lock()
+	overhead := p.cfg.InvokeOverhead.Sample(p.rng)
+	p.mu.Unlock()
+	proc.Sleep(msToDur(overhead))
+	res.OverheadMs = overhead
+
+	// Instance acquisition: warm pool or cold start.
+	p.mu.Lock()
+	if f.warm > 0 {
+		f.warm--
+	} else {
+		res.ColdStart = true
+	}
+	p.mu.Unlock()
+	if res.ColdStart {
+		proc.Sleep(msToDur(p.cfg.ColdStartMs))
+	}
+
+	ctx := &Ctx{
+		platform: p,
+		proc:     proc,
+		fnName:   name,
+		uplink:   simnet.NewResource(p.env),
+		downlink: simnet.NewResource(p.env),
+		start:    proc.Now(),
+	}
+	resp, herr := f.handler(ctx, payload)
+
+	res.HandlerMs = durToMs(proc.Now() - ctx.start)
+	res.BilledMs = billed(res.HandlerMs, p.cfg.BillingGranMs)
+	res.TotalBilledMs = res.BilledMs + ctx.children
+
+	// Instance returns to the warm pool; count the invocation even if the
+	// handler failed (the platform still bills it).
+	p.mu.Lock()
+	f.warm++
+	p.invoked++
+	p.mu.Unlock()
+
+	if from != nil {
+		from.children += res.TotalBilledMs
+	}
+	if herr != nil {
+		return InvokeResult{}, fmt.Errorf("platform: function %q: %w", name, herr)
+	}
+
+	// Response download: serialized on the caller's downlink.
+	downMs := float64(resp.Bytes) / 1e6 / p.cfg.NetMBps * 1000
+	before = proc.Now()
+	if from != nil {
+		from.downlink.Acquire(proc)
+		proc.Sleep(msToDur(downMs))
+		from.downlink.Release()
+	} else {
+		proc.Sleep(msToDur(downMs))
+	}
+	res.DownloadMs = durToMs(proc.Now() - before)
+	res.Resp = resp
+	return res, nil
+}
+
+// billed rounds ms up to the next multiple of gran.
+func billed(ms float64, gran int64) int64 {
+	if ms <= 0 {
+		return 0
+	}
+	units := int64(math.Ceil(ms / float64(gran)))
+	return units * gran
+}
+
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func durToMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

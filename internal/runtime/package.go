@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"gillis/internal/graph"
+	"gillis/internal/modelio"
+	"gillis/internal/partition"
+)
+
+// Bundle is one deployable function package: the weight shard a function
+// hosts, serialized in the ONNX-lite format (§III-A: "the model partitions
+// are packaged into functions and deployed on serverless platforms").
+type Bundle struct {
+	// Function is the logical function name ("master", "g<i>-p<j>").
+	Function string
+	// Group and Part locate the shard in the plan (-1/-1 for the master).
+	Group, Part int
+	// Archive is the serialized shard.
+	Archive []byte
+}
+
+// Package materializes the per-function weight shards of a plan: the master
+// bundle holds every group placed on it, and each worker bundle holds
+// exactly its partition's weights (full group weights for spatial
+// partitions, the sliced channels for channel partitions). All units must
+// be initialized.
+func Package(units []*partition.Unit, plan *partition.Plan) ([]Bundle, error) {
+	if err := plan.Validate(units); err != nil {
+		return nil, err
+	}
+	for _, u := range units {
+		if !u.Sub.Initialized() {
+			return nil, fmt.Errorf("runtime: packaging requires initialized weights (unit %d)", u.Index)
+		}
+	}
+	var bundles []Bundle
+
+	// Master bundles: one shard per group the master participates in
+	// (partition 0 of parallel groups, the whole graph of local groups).
+	for gi, gp := range plan.Groups {
+		if !gp.OnMaster {
+			continue
+		}
+		shard, err := shardGraph(units, gp, 0)
+		if err != nil {
+			return nil, err
+		}
+		data, err := archive(shard)
+		if err != nil {
+			return nil, err
+		}
+		bundles = append(bundles, Bundle{
+			Function: fmt.Sprintf("master-g%d", gi),
+			Group:    gi, Part: 0,
+			Archive: data,
+		})
+	}
+
+	for gi, gp := range plan.Groups {
+		firstWorker := 0
+		if gp.OnMaster {
+			firstWorker = 1
+		}
+		if gp.Option.Dim == partition.DimNone && gp.OnMaster {
+			continue
+		}
+		for part := firstWorker; part < gp.Option.Parts; part++ {
+			shard, err := shardGraph(units, gp, part)
+			if err != nil {
+				return nil, err
+			}
+			data, err := archive(shard)
+			if err != nil {
+				return nil, err
+			}
+			bundles = append(bundles, Bundle{
+				Function: fmt.Sprintf("g%d-p%d", gi, part),
+				Group:    gi, Part: part,
+				Archive: data,
+			})
+		}
+	}
+	sort.Slice(bundles, func(i, j int) bool { return bundles[i].Function < bundles[j].Function })
+	return bundles, nil
+}
+
+// shardGraph builds the weight graph one worker partition hosts.
+func shardGraph(units []*partition.Unit, gp partition.GroupPlan, part int) (*graph.Graph, error) {
+	if gp.Option.Dim == partition.DimChannel {
+		u := units[gp.First]
+		outC := u.OutChannels()
+		lo, hi := part*outC/gp.Option.Parts, (part+1)*outC/gp.Option.Parts
+		return partition.ChannelSubgraph(u, lo, hi)
+	}
+	// Spatial partitions and whole-group workers replicate the group's
+	// weights.
+	g := graph.New(fmt.Sprintf("shard-g%d-p%d", gp.First, part), units[gp.First].InShape)
+	for _, u := range units[gp.First : gp.Last+1] {
+		if err := appendOps(g, u.Sub); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// appendOps concatenates src's ops onto dst, rebasing input references.
+func appendOps(dst *graph.Graph, src *graph.Graph) error {
+	base := dst.Len()
+	for _, node := range src.Nodes() {
+		ins := make([]int, len(node.Inputs))
+		for i, in := range node.Inputs {
+			if in == graph.InputID {
+				ins[i] = base - 1 // previous op, or the graph input when empty
+			} else {
+				ins[i] = in + base
+			}
+		}
+		if _, err := dst.Add(node.Op, ins...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// archive serializes a shard graph with its weights.
+func archive(g *graph.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := modelio.Save(&buf, g, true); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// BundleWeightBytes sums a packaged archive set's total size — what a
+// deployment pipeline would upload to the platform.
+func BundleWeightBytes(bundles []Bundle) int64 {
+	var total int64
+	for _, b := range bundles {
+		total += int64(len(b.Archive))
+	}
+	return total
+}

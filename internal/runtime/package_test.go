@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gillis/internal/modelio"
+	"gillis/internal/partition"
+	"gillis/internal/tensor"
+)
+
+func TestPackageBundles(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	bundles, err := Package(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan: channel×2 (2 workers), spatial×3 with master (1 master shard +
+	// 2 workers), whole-on-master (1 master shard). Total 6 bundles.
+	if len(bundles) != 6 {
+		for _, b := range bundles {
+			t.Log(b.Function, len(b.Archive))
+		}
+		t.Fatalf("got %d bundles, want 6", len(bundles))
+	}
+	names := map[string]bool{}
+	for _, b := range bundles {
+		names[b.Function] = true
+		if len(b.Archive) == 0 {
+			t.Errorf("%s: empty archive", b.Function)
+		}
+	}
+	for _, want := range []string{"g0-p0", "g0-p1", "g1-p1", "g1-p2", "master-g1", "master-g2"} {
+		if !names[want] {
+			t.Errorf("missing bundle %s (have %v)", want, names)
+		}
+	}
+	if BundleWeightBytes(bundles) <= 0 {
+		t.Fatal("bundle bytes must be positive")
+	}
+}
+
+// Channel shards must carry only their slice of the weights, and a loaded
+// shard must compute exactly its partition's output.
+func TestPackageChannelShardExecutes(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	bundles, err := Package(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shard []byte
+	for _, b := range bundles {
+		if b.Function == "g0-p1" { // channel partition 1 of the stem unit
+			shard = b.Archive
+		}
+	}
+	g, err := modelio.Load(bytes.NewReader(shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Rand(rand.New(rand.NewSource(3)), 1, 3, 24, 24)
+	got, err := g.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := units[0].Sub.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outC := units[0].OutChannels()
+	wantSlice, err := full.SliceDim(0, outC/2, outC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, wantSlice) {
+		t.Fatal("loaded channel shard output mismatch")
+	}
+	// The shard's weights are roughly half the unit's.
+	if g.ParamBytes() >= units[0].ParamBytes {
+		t.Fatalf("channel shard weights %d should be below unit's %d", g.ParamBytes(), units[0].ParamBytes)
+	}
+}
+
+// Spatial shards replicate the whole group's weights and reproduce the
+// group output when run whole.
+func TestPackageSpatialShardExecutes(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	bundles, err := Package(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shard []byte
+	for _, b := range bundles {
+		if b.Function == "g1-p1" {
+			shard = b.Archive
+		}
+	}
+	g, err := modelio.Load(bytes.NewReader(shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParams := units[1].ParamBytes + units[2].ParamBytes
+	if g.ParamBytes() != wantParams {
+		t.Fatalf("spatial shard params %d, want %d (replicated group)", g.ParamBytes(), wantParams)
+	}
+	// Running the shard whole equals running the group's units in sequence.
+	x, err := units[0].Sub.Forward(tensor.Rand(rand.New(rand.NewSource(4)), 1, 3, 24, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := partition.ForwardChain(units[1:3], x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatal("spatial shard output mismatch")
+	}
+}
+
+func TestPackageRequiresWeights(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	// Strip weights by re-linearizing a fresh, uninitialized model.
+	g, err := modelio.Load(func() *bytes.Reader {
+		var buf bytes.Buffer
+		_ = modelio.Save(&buf, units[0].Sub, false)
+		return bytes.NewReader(buf.Bytes())
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := partition.Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshPlan := &partition.Plan{Model: "x", Groups: []partition.GroupPlan{
+		{First: 0, Last: len(fresh) - 1, Option: partition.Option{Dim: partition.DimNone, Parts: 1}, OnMaster: true},
+	}}
+	if _, err := Package(fresh, freshPlan); err == nil {
+		t.Fatal("expected uninitialized-weights error")
+	}
+	_ = plan
+}

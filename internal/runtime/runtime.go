@@ -1,0 +1,510 @@
+// Package runtime is Gillis's serving runtime: it deploys a partitioned
+// model onto a (simulated) serverless platform and executes inference
+// queries with the fork-join model of §III-B — a master function invokes
+// worker functions holding model partitions, computes its own partitions
+// when the plan places them there, reassembles partial tensors, and
+// produces the final result over multiple fork-join rounds.
+//
+// Two baselines from §V are provided alongside: Default (whole model in one
+// function) falls out of a trivial plan, and Pipeline (a single function
+// streaming layer partitions from object storage) is implemented by
+// DeployPipeline.
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gillis/internal/partition"
+	"gillis/internal/platform"
+	"gillis/internal/profile"
+	"gillis/internal/simnet"
+	"gillis/internal/tensor"
+)
+
+// ExecMode selects how workers execute their partitions.
+type ExecMode int
+
+// Execution modes.
+const (
+	// Real performs the actual tensor math; outputs are bit-exact with
+	// monolithic execution. Use for correctness at small scale.
+	Real ExecMode = iota + 1
+	// ShapeOnly skips tensor math (timing still reflects the partition's
+	// exact FLOPs and payload bytes). Use for large-model experiments.
+	ShapeOnly
+)
+
+var deploySeq atomic.Int64
+
+// groupRuntime precomputes everything a group needs at query time.
+type groupRuntime struct {
+	gp        partition.GroupPlan
+	units     []*partition.Unit
+	flops     int64 // monolithic group FLOPs
+	opBytes   int64 // monolithic bytes touched
+	opCount   int   // number of ops (dispatch overheads)
+	spatial   []partition.PartSlice
+	channel   []partition.ChannelSlice
+	inBytes   int64 // full group input payload
+	outBytes  int64 // full group output payload
+	outShape  []int
+	partFLOPs []int64 // per partition
+	partIn    []int64
+	partOut   []int64
+}
+
+// Deployment is a model served under a plan on a platform.
+type Deployment struct {
+	p      *platform.Platform
+	units  []*partition.Unit
+	plan   *partition.Plan
+	mode   ExecMode
+	prefix string
+	groups []*groupRuntime
+
+	// Master is the entry function name.
+	Master string
+}
+
+// Deploy validates the plan against the platform's memory budget, registers
+// the master and worker functions, and returns a ready deployment. It
+// returns an error (the deployment-time analogue of the paper's OOM
+// failures) if any function's resident set exceeds the weight budget.
+func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan, mode ExecMode) (*Deployment, error) {
+	if err := plan.Validate(units); err != nil {
+		return nil, err
+	}
+	if mode != Real && mode != ShapeOnly {
+		return nil, fmt.Errorf("runtime: invalid exec mode %d", mode)
+	}
+	if mode == Real {
+		for _, u := range units {
+			if !u.Sub.Initialized() {
+				return nil, fmt.Errorf("runtime: Real mode requires initialized weights (unit %d)", u.Index)
+			}
+		}
+	}
+	budget := int64(p.Config().WeightBudgetMB) * 1e6
+
+	d := &Deployment{
+		p:      p,
+		units:  units,
+		plan:   plan,
+		mode:   mode,
+		prefix: fmt.Sprintf("%s-d%d", plan.Model, deploySeq.Add(1)),
+	}
+	d.Master = d.prefix + "-master"
+
+	var masterBytes int64
+	for gi, gp := range plan.Groups {
+		gr, err := buildGroupRuntime(units, gp)
+		if err != nil {
+			return nil, err
+		}
+		ext, err := partition.GroupExtent(units, gp.First, gp.Last, gp.Option)
+		if err != nil {
+			return nil, err
+		}
+		if ext.WeightBytes+ext.ActBytes > budget {
+			return nil, fmt.Errorf("runtime: group %d partition needs %d MB, exceeding the %d MB function budget (OOM)",
+				gi, (ext.WeightBytes+ext.ActBytes)/1e6, budget/1e6)
+		}
+		if gp.OnMaster {
+			masterBytes += ext.WeightBytes
+		}
+		d.groups = append(d.groups, gr)
+	}
+	if masterBytes > budget {
+		return nil, fmt.Errorf("runtime: master resident weights %d MB exceed the %d MB budget (OOM)",
+			masterBytes/1e6, budget/1e6)
+	}
+
+	if err := p.Register(d.Master, d.masterHandler); err != nil {
+		return nil, err
+	}
+	for gi, gr := range d.groups {
+		parts := gr.gp.Option.Parts
+		for part := 0; part < parts; part++ {
+			if gr.gp.OnMaster && part == 0 {
+				continue // the master computes partition 0 itself
+			}
+			if gr.gp.Option.Dim == partition.DimNone && gr.gp.OnMaster {
+				continue
+			}
+			name := d.workerName(gi, part)
+			gi, part := gi, part
+			err := p.Register(name, func(ctx *platform.Ctx, payload platform.Payload) (platform.Payload, error) {
+				return d.workerHandler(ctx, gi, part, payload)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *Deployment) workerName(group, part int) string {
+	return fmt.Sprintf("%s-g%d-p%d", d.prefix, group, part)
+}
+
+// Prewarm warms the master and one instance of every worker function,
+// modeling Gillis's periodic warm-up pings (§III-A).
+func (d *Deployment) Prewarm() error {
+	if err := d.p.Prewarm(d.Master, 1); err != nil {
+		return err
+	}
+	for gi, gr := range d.groups {
+		for part := 0; part < gr.gp.Option.Parts; part++ {
+			if gr.gp.OnMaster && part == 0 {
+				continue
+			}
+			if gr.gp.Option.Dim == partition.DimNone && gr.gp.OnMaster {
+				continue
+			}
+			if err := d.p.Prewarm(d.workerName(gi, part), 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Result reports one served query.
+type Result struct {
+	// Output is the inference result (nil in ShapeOnly mode).
+	Output *tensor.Tensor
+	// LatencyMs is the inference latency: the master function's duration.
+	LatencyMs float64
+	// GroupMs traces the master-observed duration of each fork-join round,
+	// in plan order (they sum to roughly LatencyMs).
+	GroupMs []float64
+	// BilledMs is the total billed function duration (master + workers),
+	// C^S(G) of Eq. (2).
+	BilledMs int64
+	// ColdStart reports whether the master cold-started.
+	ColdStart bool
+}
+
+// masterResp is the master function's response body.
+type masterResp struct {
+	output  *tensor.Tensor
+	groupMs []float64
+}
+
+// Serve executes one inference query from a client process.
+func (d *Deployment) Serve(proc *simnet.Proc, input *tensor.Tensor) (Result, error) {
+	payload := platform.Payload{Bytes: tensor.SizeBytes(d.units[0].InShape)}
+	if d.mode == Real {
+		if input == nil {
+			return Result{}, fmt.Errorf("runtime: Real mode requires an input tensor")
+		}
+		payload.Data = input
+		payload.Bytes = input.Bytes()
+	}
+	res, err := d.p.InvokeFrom(proc, d.Master, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		LatencyMs: res.HandlerMs,
+		BilledMs:  res.TotalBilledMs,
+		ColdStart: res.ColdStart,
+	}
+	mr, ok := res.Resp.Data.(*masterResp)
+	if !ok {
+		return Result{}, fmt.Errorf("runtime: master returned %T", res.Resp.Data)
+	}
+	out.GroupMs = mr.groupMs
+	if d.mode == Real {
+		if mr.output == nil {
+			return Result{}, fmt.Errorf("runtime: master returned no tensor in Real mode")
+		}
+		out.Output = mr.output
+	}
+	return out, nil
+}
+
+// masterHandler orchestrates the fork-join rounds (Fig. 4).
+func (d *Deployment) masterHandler(ctx *platform.Ctx, payload platform.Payload) (platform.Payload, error) {
+	var cur *tensor.Tensor
+	if d.mode == Real {
+		var ok bool
+		cur, ok = payload.Data.(*tensor.Tensor)
+		if !ok {
+			return platform.Payload{}, fmt.Errorf("runtime: master got %T, want tensor", payload.Data)
+		}
+	}
+	groupMs := make([]float64, 0, len(d.groups))
+	for gi, gr := range d.groups {
+		before := ctx.Proc().Now()
+		next, err := d.runGroup(ctx, gi, gr, cur)
+		if err != nil {
+			return platform.Payload{}, err
+		}
+		groupMs = append(groupMs, float64(ctx.Proc().Now()-before)/1e6)
+		cur = next
+	}
+	last := d.groups[len(d.groups)-1]
+	return platform.Payload{Bytes: last.outBytes, Data: &masterResp{output: cur, groupMs: groupMs}}, nil
+}
+
+// runGroup executes one layer group from the master's perspective.
+func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor) (*tensor.Tensor, error) {
+	opt := gr.gp.Option
+
+	// Whole group on the master: local execution.
+	if opt.Dim == partition.DimNone && gr.gp.OnMaster {
+		d.computeScaled(ctx, gr, 1.0)
+		if d.mode == Real {
+			return partition.ForwardChain(gr.units, in)
+		}
+		return nil, nil
+	}
+
+	// Whole group on a single worker: remote round.
+	if opt.Dim == partition.DimNone {
+		req := platform.Payload{Bytes: gr.inBytes}
+		if d.mode == Real {
+			req.Data = in
+		}
+		res, err := ctx.Invoke(d.workerName(gi, 0), req)
+		if err != nil {
+			return nil, err
+		}
+		return d.tensorOf(res.Resp)
+	}
+
+	// Parallel round: fork workers, optionally compute partition 0 locally,
+	// join and reassemble.
+	firstWorker := 0
+	if gr.gp.OnMaster {
+		firstWorker = 1
+	}
+	promises := make([]*simnet.Promise[platform.InvokeResult], 0, opt.Parts-firstWorker)
+	for part := firstWorker; part < opt.Parts; part++ {
+		req := platform.Payload{Bytes: gr.partIn[part]}
+		if d.mode == Real {
+			slab, err := d.partInput(gr, part, in)
+			if err != nil {
+				return nil, err
+			}
+			req.Data = slab
+		}
+		promises = append(promises, ctx.InvokeAsync(d.workerName(gi, part), req))
+	}
+
+	outs := make([]*tensor.Tensor, opt.Parts)
+	if gr.gp.OnMaster {
+		d.computeScaled(ctx, gr, flopFrac(gr, 0))
+		if d.mode == Real {
+			out, err := d.execPart(gr, 0, in)
+			if err != nil {
+				return nil, err
+			}
+			outs[0] = out
+		}
+	}
+	for i, pr := range promises {
+		res, err := pr.Wait(ctx.Proc())
+		if err != nil {
+			return nil, err
+		}
+		if d.mode == Real {
+			t, err := d.tensorOf(res.Resp)
+			if err != nil {
+				return nil, err
+			}
+			outs[firstWorker+i] = t
+		}
+	}
+	// Reassembly is memory-bandwidth work on the master.
+	ctx.ComputeOp(0, gr.outBytes)
+	if d.mode != Real {
+		return nil, nil
+	}
+	dim := 1 // spatial: concatenate rows
+	if opt.Dim == partition.DimChannel {
+		dim = 0
+	}
+	return tensor.ConcatDim(dim, outs...)
+}
+
+// workerHandler computes one partition of one group.
+func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload platform.Payload) (platform.Payload, error) {
+	gr := d.groups[gi]
+	if gr.gp.Option.Dim == partition.DimNone {
+		d.computeScaled(ctx, gr, 1.0)
+		resp := platform.Payload{Bytes: gr.outBytes}
+		if d.mode == Real {
+			in, ok := payload.Data.(*tensor.Tensor)
+			if !ok {
+				return platform.Payload{}, fmt.Errorf("runtime: worker got %T", payload.Data)
+			}
+			out, err := partition.ForwardChain(gr.units, in)
+			if err != nil {
+				return platform.Payload{}, err
+			}
+			resp.Data = out
+		}
+		return resp, nil
+	}
+
+	d.computeScaled(ctx, gr, flopFrac(gr, part))
+	resp := platform.Payload{Bytes: gr.partOut[part]}
+	if d.mode == Real {
+		in, ok := payload.Data.(*tensor.Tensor)
+		if !ok {
+			return platform.Payload{}, fmt.Errorf("runtime: worker got %T", payload.Data)
+		}
+		out, err := d.execPartFromSlab(gr, part, in)
+		if err != nil {
+			return platform.Payload{}, err
+		}
+		resp.Data = out
+	}
+	return resp, nil
+}
+
+// computeScaled advances the worker's clock by the group's ops scaled to
+// the partition's share of the work (exact FLOPs incl. halo redundancy).
+func (d *Deployment) computeScaled(ctx *platform.Ctx, gr *groupRuntime, frac float64) {
+	ctx.ComputeOp(int64(float64(gr.flops)*frac), int64(float64(gr.opBytes)*frac))
+}
+
+func flopFrac(gr *groupRuntime, part int) float64 {
+	if gr.flops == 0 {
+		return 0
+	}
+	return float64(gr.partFLOPs[part]) / float64(gr.flops)
+}
+
+// partInput slices the group input for a partition (Real mode).
+func (d *Deployment) partInput(gr *groupRuntime, part int, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if gr.gp.Option.Dim == partition.DimChannel {
+		return in, nil // channel partitions consume the full input
+	}
+	return partition.InputSlab(in, gr.spatial[part])
+}
+
+// execPart runs a partition from the full group input (master side).
+func (d *Deployment) execPart(gr *groupRuntime, part int, in *tensor.Tensor) (*tensor.Tensor, error) {
+	slab, err := d.partInput(gr, part, in)
+	if err != nil {
+		return nil, err
+	}
+	return d.execPartFromSlab(gr, part, slab)
+}
+
+// execPartFromSlab runs a partition from its input slab (worker side).
+func (d *Deployment) execPartFromSlab(gr *groupRuntime, part int, slab *tensor.Tensor) (*tensor.Tensor, error) {
+	if gr.gp.Option.Dim == partition.DimChannel {
+		cs := gr.channel[part]
+		sub, err := partition.ChannelSubgraph(gr.units[0], cs.Channels.Lo, cs.Channels.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return sub.Forward(slab)
+	}
+	return partition.ExecSpatialPart(gr.units, gr.spatial[part], slab)
+}
+
+func (d *Deployment) tensorOf(p platform.Payload) (*tensor.Tensor, error) {
+	if d.mode != Real {
+		return nil, nil
+	}
+	t, ok := p.Data.(*tensor.Tensor)
+	if !ok {
+		return nil, fmt.Errorf("runtime: response payload %T, want tensor", p.Data)
+	}
+	return t, nil
+}
+
+// buildGroupRuntime precomputes a group's slices, FLOPs and payload sizes.
+func buildGroupRuntime(units []*partition.Unit, gp partition.GroupPlan) (*groupRuntime, error) {
+	group := units[gp.First : gp.Last+1]
+	gr := &groupRuntime{gp: gp, units: group}
+	for _, u := range group {
+		gr.flops += u.FLOPs
+		shapes := u.NodeShapes()
+		for _, node := range u.Sub.Nodes() {
+			ins := make([][]int, len(node.Inputs))
+			for i, in := range node.Inputs {
+				if in < 0 {
+					ins[i] = u.InShape
+				} else {
+					ins[i] = shapes[in]
+				}
+			}
+			b, err := profile.OpBytes(node.Op, ins)
+			if err != nil {
+				return nil, err
+			}
+			gr.opBytes += b
+			gr.opCount++
+		}
+	}
+	gr.inBytes = tensor.SizeBytes(group[0].InShape)
+	gr.outBytes = tensor.SizeBytes(group[len(group)-1].OutShape)
+	gr.outShape = group[len(group)-1].OutShape
+
+	switch gp.Option.Dim {
+	case partition.DimNone:
+		gr.partFLOPs = []int64{gr.flops}
+		gr.partIn = []int64{gr.inBytes}
+		gr.partOut = []int64{gr.outBytes}
+	case partition.DimSpatial:
+		slices, err := partition.SpatialSlices(group, gp.Option.Parts)
+		if err != nil {
+			return nil, err
+		}
+		gr.spatial = slices
+		for _, ps := range slices {
+			gr.partFLOPs = append(gr.partFLOPs, ps.FLOPs)
+			gr.partIn = append(gr.partIn, ps.InBytes)
+			gr.partOut = append(gr.partOut, ps.OutBytes)
+		}
+	case partition.DimChannel:
+		slices, err := partition.ChannelSlices(group[0], gp.Option.Parts)
+		if err != nil {
+			return nil, err
+		}
+		gr.channel = slices
+		for _, cs := range slices {
+			gr.partFLOPs = append(gr.partFLOPs, cs.FLOPs)
+			gr.partIn = append(gr.partIn, cs.InBytes)
+			gr.partOut = append(gr.partOut, cs.OutBytes)
+		}
+	default:
+		return nil, fmt.Errorf("runtime: unknown option %v", gp.Option)
+	}
+	return gr, nil
+}
+
+// DeployDefault deploys the Default baseline: the whole model in a single
+// function (§V-B baseline 1).
+func DeployDefault(p *platform.Platform, units []*partition.Unit, mode ExecMode) (*Deployment, error) {
+	plan := &partition.Plan{
+		Model: "default-" + modelNameOf(units),
+		Groups: []partition.GroupPlan{{
+			First: 0, Last: len(units) - 1,
+			Option:   partition.Option{Dim: partition.DimNone, Parts: 1},
+			OnMaster: true,
+		}},
+	}
+	return Deploy(p, units, plan, mode)
+}
+
+// PredictedPlanOf exposes the deployment's plan (for reporting).
+func (d *Deployment) Plan() *partition.Plan { return d.plan }
+
+func modelNameOf(units []*partition.Unit) string {
+	name := units[0].Sub.Name
+	for i := 0; i < len(name); i++ {
+		if name[i] == '[' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,397 @@
+package runtime
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"gillis/internal/core"
+	"gillis/internal/graph"
+	"gillis/internal/models"
+	"gillis/internal/nn"
+	"gillis/internal/partition"
+	"gillis/internal/perf"
+	"gillis/internal/platform"
+	"gillis/internal/simnet"
+	"gillis/internal/tensor"
+)
+
+// tinyCNN matches the partition package's test model: stem conv+bn+relu,
+// maxpool, residual block, avgpool.
+func tinyCNN(t *testing.T) []*partition.Unit {
+	t.Helper()
+	g := graph.New("tinycnn", []int{3, 24, 24})
+	g.MustAdd(nn.NewConv2D("stem", 3, 8, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("stem_bn", 8))
+	g.MustAdd(nn.NewReLU("stem_relu"))
+	pool := g.MustAdd(nn.NewMaxPool2D("pool", 3, 2, 1))
+	c1 := g.MustAdd(nn.NewConv2D("b_conv1", 8, 8, 3, 1, 1), pool)
+	b1 := g.MustAdd(nn.NewBatchNorm("b_bn1", 8), c1)
+	r1 := g.MustAdd(nn.NewReLU("b_relu1"), b1)
+	c2 := g.MustAdd(nn.NewConv2D("b_conv2", 8, 8, 3, 1, 1), r1)
+	b2 := g.MustAdd(nn.NewBatchNorm("b_bn2", 8), c2)
+	add := g.MustAdd(nn.NewAdd("b_add"), b2, pool)
+	g.MustAdd(nn.NewReLU("b_relu2"), add)
+	g.MustAdd(nn.NewAvgPool2D("avg", 2, 2))
+	g.Init(42)
+	units, err := partition.Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units
+}
+
+// mixedPlan exercises all three dims: spatial group (master+workers),
+// channel group (workers only), whole-on-master group.
+func mixedPlan(t *testing.T, units []*partition.Unit) *partition.Plan {
+	t.Helper()
+	plan := &partition.Plan{Model: "tinycnn", Groups: []partition.GroupPlan{
+		{First: 0, Last: 0, Option: partition.Option{Dim: partition.DimChannel, Parts: 2}},
+		{First: 1, Last: 2, Option: partition.Option{Dim: partition.DimSpatial, Parts: 3}, OnMaster: true},
+		{First: 3, Last: 3, Option: partition.Option{Dim: partition.DimNone, Parts: 1}, OnMaster: true},
+	}}
+	if err := plan.Validate(units); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func runClient(t *testing.T, cfg platform.Config, seed int64, driver func(p *platform.Platform, proc *simnet.Proc)) {
+	t.Helper()
+	env := simnet.NewEnv()
+	p := platform.New(env, cfg, seed)
+	env.Go("client", func(proc *simnet.Proc) { driver(p, proc) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRealMatchesMonolithic(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	x := tensor.Rand(rand.New(rand.NewSource(7)), 1, 3, 24, 24)
+	want, err := partition.ForwardChain(units, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runClient(t, platform.AWSLambda(), 1, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.Serve(proc, x)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !tensor.Equal(res.Output, want) {
+			t.Error("fork-join output must match monolithic execution bitwise")
+		}
+		if res.LatencyMs <= 0 || res.BilledMs <= 0 {
+			t.Errorf("bad accounting: %+v", res)
+		}
+		if res.ColdStart {
+			t.Error("prewarmed master should warm-start")
+		}
+	})
+}
+
+func TestServeDefaultReal(t *testing.T) {
+	units := tinyCNN(t)
+	x := tensor.Rand(rand.New(rand.NewSource(8)), 1, 3, 24, 24)
+	want, err := partition.ForwardChain(units, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runClient(t, platform.KNIX(), 2, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := DeployDefault(p, units, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.Serve(proc, x)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !tensor.Equal(res.Output, want) {
+			t.Error("default serving output mismatch")
+		}
+	})
+}
+
+func TestDeployRejectsOOM(t *testing.T) {
+	g, err := models.WideResNet(34, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := partition.Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simnet.NewEnv()
+	p := platform.New(env, platform.AWSLambda(), 1)
+	if _, err := DeployDefault(p, units, ShapeOnly); err == nil {
+		t.Fatal("WRN-34-5 must not fit a single 1.4 GB function")
+	} else if !strings.Contains(err.Error(), "OOM") {
+		t.Fatalf("error should mention OOM: %v", err)
+	}
+}
+
+func TestDeployRejectsUninitializedReal(t *testing.T) {
+	g, err := models.VGG(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := partition.Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simnet.NewEnv()
+	p := platform.New(env, platform.AWSLambda(), 1)
+	if _, err := DeployDefault(p, units, Real); err == nil {
+		t.Fatal("Real mode without weights must fail")
+	}
+}
+
+var (
+	perfOnce sync.Once
+	perfMdl  *perf.Model
+	perfErr  error
+)
+
+func lambdaModel(t *testing.T) *perf.Model {
+	t.Helper()
+	perfOnce.Do(func() { perfMdl, perfErr = perf.Build(platform.AWSLambda(), 1, 2, 300) })
+	if perfErr != nil {
+		t.Fatal(perfErr)
+	}
+	return perfMdl
+}
+
+func zooUnits(t *testing.T, name string) []*partition.Unit {
+	t.Helper()
+	g, err := models.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := partition.Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units
+}
+
+// Gillis (latency-optimal) must beat Default on the simulated platform, not
+// just in the predictor — Fig. 9 measured end to end.
+func TestGillisBeatsDefaultMeasured(t *testing.T) {
+	m := lambdaModel(t)
+	units := zooUnits(t, "vgg16")
+	plan, _, err := core.LatencyOptimal(m, units, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gillisMs, defaultMs float64
+	runClient(t, platform.AWSLambda(), 3, func(p *platform.Platform, proc *simnet.Proc) {
+		dg, err := Deploy(p, units, plan, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dd, err := DeployDefault(p, units, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dg.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dd.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			rg, err := dg.Serve(proc, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rd, err := dd.Serve(proc, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			gillisMs += rg.LatencyMs
+			defaultMs += rd.LatencyMs
+		}
+	})
+	speedup := defaultMs / gillisMs
+	if speedup < 1.3 {
+		t.Fatalf("measured VGG-16 speedup %.2f, want >= 1.3 (Fig. 9 reports ~1.9)", speedup)
+	}
+}
+
+// Performance-model fidelity (Fig. 15 bottom): predicted end-to-end latency
+// within ~10% of the measured mean.
+func TestPredictionMatchesMeasurement(t *testing.T) {
+	m := lambdaModel(t)
+	for _, name := range []string{"vgg11", "resnet50"} {
+		units := zooUnits(t, name)
+		plan, pred, err := core.LatencyOptimal(m, units, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		const queries = 30
+		runClient(t, platform.AWSLambda(), 4, func(p *platform.Platform, proc *simnet.Proc) {
+			d, err := Deploy(p, units, plan, ShapeOnly)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.Prewarm(); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < queries; i++ {
+				r, err := d.Serve(proc, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total += r.LatencyMs
+			}
+		})
+		mean := total / queries
+		rel := (pred.LatencyMs - mean) / mean
+		if rel < -0.12 || rel > 0.12 {
+			t.Errorf("%s: predicted %.0f ms vs measured %.0f ms (%.1f%%)", name, pred.LatencyMs, mean, rel*100)
+		}
+	}
+}
+
+func TestPipelineRealCorrectAndBreakdown(t *testing.T) {
+	units := tinyCNN(t)
+	x := tensor.Rand(rand.New(rand.NewSource(9)), 1, 3, 24, 24)
+	want, err := partition.ForwardChain(units, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runClient(t, platform.AWSLambda(), 5, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := DeployPipeline(p, units, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.Serve(proc, x)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !tensor.Equal(res.Output, want) {
+			t.Error("pipeline output mismatch")
+		}
+		if res.LoadMs <= 0 || res.ComputeMs <= 0 {
+			t.Errorf("breakdown missing: %+v", res)
+		}
+		if res.LatencyMs < res.LoadMs+res.ComputeMs-1 {
+			t.Errorf("latency %.1f < load %.1f + compute %.1f", res.LatencyMs, res.LoadMs, res.ComputeMs)
+		}
+	})
+}
+
+func TestPipelineChunksLargeModel(t *testing.T) {
+	units := zooUnits(t, "wrn34-5") // 2.1 GB of weights
+	runClient(t, platform.AWSLambda(), 6, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := DeployPipeline(p, units, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if d.Chunks() < 2 {
+			t.Errorf("WRN-34-5 pipeline should need >= 2 chunks, got %d", d.Chunks())
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.Serve(proc, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Fig. 11: network transfer dominates the pipeline's latency.
+		if res.LoadMs < res.ComputeMs {
+			t.Errorf("weight loading (%.0f ms) should dominate compute (%.0f ms)", res.LoadMs, res.ComputeMs)
+		}
+	})
+}
+
+func TestServeDeterministicReplay(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	run := func() []float64 {
+		var out []float64
+		runClient(t, platform.AWSLambda(), 77, func(p *platform.Platform, proc *simnet.Proc) {
+			d, err := Deploy(p, units, plan, ShapeOnly)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				r, err := d.Serve(proc, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out = append(out, r.LatencyMs)
+			}
+		})
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at query %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// First (cold) query should be slower than warm ones.
+	if a[0] <= a[1] {
+		t.Errorf("cold-start query (%.1f) should exceed warm (%.1f)", a[0], a[1])
+	}
+}
+
+func TestResultBillingCoversWorkers(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	runClient(t, platform.AWSLambda(), 10, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.Serve(proc, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.BilledMs < int64(res.LatencyMs) {
+			t.Errorf("billed %d must at least cover the master's %f ms", res.BilledMs, res.LatencyMs)
+		}
+	})
+}

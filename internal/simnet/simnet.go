@@ -1,0 +1,267 @@
+// Package simnet is a deterministic discrete-event simulation kernel in the
+// style of SimPy: processes are goroutines that park on a virtual clock, and
+// a central scheduler advances time from event to event. At most one process
+// executes at any instant, and ties are broken by event sequence number, so
+// a simulation is exactly reproducible for a fixed seed of its random
+// inputs.
+//
+// The serverless platform simulator (package platform) and the fork-join
+// serving runtime (package runtime) are built on this kernel.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+type Env struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Duration
+	events   eventHeap
+	seq      int64
+	runnable int // processes currently executing (not parked)
+	parked   int // processes parked on promises (not on the clock)
+	started  bool
+}
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func() // runs in scheduler context with env.mu held; must not block
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewEnv creates an empty simulation environment.
+func NewEnv() *Env {
+	e := &Env{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Proc is the handle a running process uses to interact with the clock.
+type Proc struct {
+	env    *Env
+	Name   string
+	resume chan struct{}
+}
+
+// Env returns the process's environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.Now() }
+
+// Go schedules fn as a new process starting at the current virtual time.
+// It can be called before Run or from within a running process.
+func (e *Env) Go(name string, fn func(*Proc)) {
+	p := &Proc{env: e, Name: name, resume: make(chan struct{}, 1)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pushLocked(e.now, func() {
+		e.runnable++
+		go func() {
+			fn(p)
+			e.mu.Lock()
+			e.runnable--
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		}()
+	})
+}
+
+// At schedules fn to run in scheduler context at the given absolute virtual
+// time (which must not be in the past). fn must not block.
+func (e *Env) At(t time.Duration, fn func()) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t < e.now {
+		return fmt.Errorf("simnet: cannot schedule at %v, now is %v", t, e.now)
+	}
+	e.pushLocked(t, fn)
+	return nil
+}
+
+func (e *Env) pushLocked(t time.Duration, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.cond.Broadcast()
+}
+
+// Sleep parks the process for d of virtual time. Negative durations are
+// treated as zero.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.mu.Lock()
+	e.pushLocked(e.now+d, func() {
+		e.runnable++
+		p.resume <- struct{}{}
+	})
+	e.runnable--
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-p.resume
+}
+
+// Run executes the simulation until no events remain. It returns an error if
+// processes remain parked on unresolved promises when the event queue drains
+// (a deadlock).
+func (e *Env) Run() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("simnet: Run called twice")
+	}
+	e.started = true
+	for {
+		for e.runnable > 0 {
+			e.cond.Wait()
+		}
+		if len(e.events) == 0 {
+			if e.parked > 0 {
+				return fmt.Errorf("simnet: deadlock: %d process(es) parked on unresolved promises", e.parked)
+			}
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// Promise is a single-assignment value processes can wait on.
+type Promise[T any] struct {
+	env      *Env
+	mu       sync.Mutex
+	resolved bool
+	value    T
+	err      error
+	waiters  []func() // scheduled as zero-delay events on resolution
+}
+
+// NewPromise creates an unresolved promise in the environment.
+func NewPromise[T any](env *Env) *Promise[T] {
+	return &Promise[T]{env: env}
+}
+
+// Resolve fulfills the promise and wakes all waiters at the current virtual
+// time. Resolving twice panics: it indicates a protocol bug.
+func (pr *Promise[T]) Resolve(v T) { pr.complete(v, nil) }
+
+// Fail completes the promise with an error.
+func (pr *Promise[T]) Fail(err error) {
+	var zero T
+	pr.complete(zero, err)
+}
+
+func (pr *Promise[T]) complete(v T, err error) {
+	pr.mu.Lock()
+	if pr.resolved {
+		pr.mu.Unlock()
+		panic("simnet: promise resolved twice")
+	}
+	pr.resolved = true
+	pr.value, pr.err = v, err
+	waiters := pr.waiters
+	pr.waiters = nil
+	pr.mu.Unlock()
+
+	pr.env.mu.Lock()
+	for _, w := range waiters {
+		pr.env.pushLocked(pr.env.now, w)
+	}
+	pr.env.mu.Unlock()
+}
+
+// Wait parks the process until the promise resolves and returns its value.
+func (pr *Promise[T]) Wait(p *Proc) (T, error) {
+	pr.mu.Lock()
+	if pr.resolved {
+		v, err := pr.value, pr.err
+		pr.mu.Unlock()
+		return v, err
+	}
+	e := pr.env
+	// The waiter runs in scheduler context with e.mu already held.
+	pr.waiters = append(pr.waiters, func() {
+		e.runnable++
+		e.parked--
+		p.resume <- struct{}{}
+	})
+	pr.mu.Unlock()
+
+	e.mu.Lock()
+	e.runnable--
+	e.parked++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-p.resume
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.value, pr.err
+}
+
+// Resource is a FIFO-ordered exclusive resource (capacity 1), used to model
+// serialized links such as a function's network uplink.
+type Resource struct {
+	env   *Env
+	mu    sync.Mutex
+	busy  bool
+	queue []*Promise[struct{}]
+}
+
+// NewResource creates an idle resource.
+func NewResource(env *Env) *Resource { return &Resource{env: env} }
+
+// Acquire parks the process until it holds the resource.
+func (r *Resource) Acquire(p *Proc) {
+	r.mu.Lock()
+	if !r.busy {
+		r.busy = true
+		r.mu.Unlock()
+		return
+	}
+	pr := NewPromise[struct{}](r.env)
+	r.queue = append(r.queue, pr)
+	r.mu.Unlock()
+	_, _ = pr.Wait(p) // promise is never failed
+}
+
+// Release hands the resource to the next waiter, if any.
+func (r *Resource) Release() {
+	r.mu.Lock()
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+		next.Resolve(struct{}{})
+		return
+	}
+	r.busy = false
+	r.mu.Unlock()
+}

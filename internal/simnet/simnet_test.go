@@ -1,0 +1,252 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var end time.Duration
+	env.Go("p", func(p *Proc) {
+		p.Sleep(ms(10))
+		p.Sleep(ms(5))
+		end = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != ms(15) {
+		t.Fatalf("clock at %v, want 15ms", end)
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	env := NewEnv()
+	var ok bool
+	env.Go("p", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-ms(5))
+		ok = p.Now() == 0
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("zero/negative sleeps must not advance time")
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			env.Go(name, func(p *Proc) {
+				p.Sleep(ms(10)) // all wake at the same instant
+				order = append(order, name)
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		got := run()
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("nondeterministic order: %v vs %v", got, first)
+			}
+		}
+	}
+	// Ties break by spawn order.
+	if first[0] != "a" || first[1] != "b" || first[2] != "c" {
+		t.Fatalf("tie-break order wrong: %v", first)
+	}
+}
+
+func TestPromiseForkJoin(t *testing.T) {
+	env := NewEnv()
+	var joined time.Duration
+	env.Go("master", func(p *Proc) {
+		var promises []*Promise[int]
+		for i, d := range []int{30, 10, 20} {
+			i, d := i, d
+			pr := NewPromise[int](env)
+			promises = append(promises, pr)
+			env.Go("worker", func(w *Proc) {
+				w.Sleep(ms(d))
+				pr.Resolve(i)
+			})
+		}
+		sum := 0
+		for _, pr := range promises {
+			v, err := pr.Wait(p)
+			if err != nil {
+				t.Error(err)
+			}
+			sum += v
+		}
+		if sum != 3 {
+			t.Errorf("sum %d", sum)
+		}
+		joined = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != ms(30) {
+		t.Fatalf("join at %v, want max worker time 30ms", joined)
+	}
+}
+
+func TestPromiseWaitAfterResolve(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[string](env)
+	var got string
+	env.Go("a", func(p *Proc) { pr.Resolve("x") })
+	env.Go("b", func(p *Proc) {
+		p.Sleep(ms(1))
+		got, _ = pr.Wait(p) // already resolved: returns immediately
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPromiseFail(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var err error
+	env.Go("a", func(p *Proc) { pr.Fail(errTest) })
+	env.Go("b", func(p *Proc) { _, err = pr.Wait(p) })
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err != errTest {
+		t.Fatalf("got %v", err)
+	}
+}
+
+var errTest = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestDoubleResolvePanics(t *testing.T) {
+	env := NewEnv()
+	env.Go("a", func(p *Proc) {
+		pr := NewPromise[int](env)
+		pr.Resolve(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on double resolve")
+			}
+		}()
+		pr.Resolve(2)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	env.Go("stuck", func(p *Proc) { _, _ = pr.Wait(p) })
+	if err := env.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	pr.Resolve(0) // release the leaked goroutine
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	env := NewEnv()
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err == nil {
+		t.Fatal("expected second Run to fail")
+	}
+}
+
+func TestAtSchedulesCallback(t *testing.T) {
+	env := NewEnv()
+	var at time.Duration
+	if err := env.At(ms(7), func() { at = env.now }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != ms(7) {
+		t.Fatalf("callback at %v", at)
+	}
+	if err := env.At(ms(1), func() {}); err == nil {
+		t.Fatal("expected past-time error")
+	}
+}
+
+func TestResourceFIFOSerialization(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env)
+	var order []int
+	var times []time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("user", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond) // stagger arrivals
+			res.Acquire(p)
+			p.Sleep(ms(10))
+			order = append(order, i)
+			times = append(times, p.Now())
+			res.Release()
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+	if times[2] < ms(30) {
+		t.Fatalf("resource not serialized: finish times %v", times)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	env := NewEnv()
+	depth := 0
+	var spawn func(p *Proc, d int)
+	spawn = func(p *Proc, d int) {
+		if d > depth {
+			depth = d
+		}
+		if d >= 5 {
+			return
+		}
+		pr := NewPromise[struct{}](env)
+		env.Go("child", func(c *Proc) {
+			c.Sleep(ms(1))
+			spawn(c, d+1)
+			pr.Resolve(struct{}{})
+		})
+		_, _ = pr.Wait(p)
+	}
+	env.Go("root", func(p *Proc) { spawn(p, 0) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 5 {
+		t.Fatalf("depth %d", depth)
+	}
+}

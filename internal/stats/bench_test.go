@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEMGExpectedMax16(b *testing.B) {
+	e := EMG{Mu: 12, Sigma: 3, Lambda: 0.125}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.ExpectedMax(16)
+	}
+}
+
+func BenchmarkEMGSample(b *testing.B) {
+	e := EMG{Mu: 12, Sigma: 3, Lambda: 0.125}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Sample(rng)
+	}
+}
+
+func BenchmarkFitLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a, c := rng.Float64(), rng.Float64()
+		x = append(x, []float64{1, a, c})
+		y = append(y, 2+3*a-c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLinear(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

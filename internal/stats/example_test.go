@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"gillis/internal/stats"
+)
+
+// ExampleEMG_ExpectedMax shows the n-th order statistic the performance
+// model uses to predict the slowest of n concurrent worker invocations
+// (§IV-A): the expected maximum grows with the fan-out.
+func ExampleEMG_ExpectedMax() {
+	overhead := stats.EMG{Mu: 12, Sigma: 3, Lambda: 0.125} // ms, Lambda-like
+	fmt.Printf("mean: %.0f ms\n", overhead.Mean())
+	for _, n := range []int{4, 16} {
+		fmt.Printf("E[max of %2d]: %.0f ms\n", n, overhead.ExpectedMax(n))
+	}
+	// Output:
+	// mean: 20 ms
+	// E[max of  4]: 29 ms
+	// E[max of 16]: 40 ms
+}

@@ -1,0 +1,92 @@
+// Package workload generates inference arrival processes for dynamic-load
+// experiments: steady Poisson traffic and bursty traffic with periodic
+// rate spikes — the regime §II-A of the Gillis paper motivates serverless
+// serving with ("using serverless functions to cover transient load
+// bursts").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Poisson returns arrival times of a homogeneous Poisson process with the
+// given rate (queries per second) over [0, dur).
+func Poisson(rng *rand.Rand, ratePerSec float64, dur time.Duration) ([]time.Duration, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: rate must be positive, got %v", ratePerSec)
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("workload: duration must be positive, got %v", dur)
+	}
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / ratePerSec * float64(time.Second))
+		t += gap
+		if t >= dur {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// BurstSpec describes periodic load spikes on top of baseline traffic.
+type BurstSpec struct {
+	// BaseRate is the steady queries-per-second rate.
+	BaseRate float64
+	// BurstRate applies during burst windows.
+	BurstRate float64
+	// Period is the spacing between burst starts; BurstLen the window size.
+	Period, BurstLen time.Duration
+}
+
+// Validate checks the spec.
+func (s BurstSpec) Validate() error {
+	if s.BaseRate <= 0 || s.BurstRate < s.BaseRate {
+		return fmt.Errorf("workload: need 0 < base rate <= burst rate, got %v/%v", s.BaseRate, s.BurstRate)
+	}
+	if s.Period <= 0 || s.BurstLen <= 0 || s.BurstLen > s.Period {
+		return fmt.Errorf("workload: need 0 < burst length <= period, got %v/%v", s.BurstLen, s.Period)
+	}
+	return nil
+}
+
+// Bursty returns arrival times over [0, dur) with the burst windows'
+// elevated rate: a two-state modulated Poisson process.
+func Bursty(rng *rand.Rand, spec BurstSpec, dur time.Duration) ([]time.Duration, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("workload: duration must be positive, got %v", dur)
+	}
+	base, err := Poisson(rng, spec.BaseRate, dur)
+	if err != nil {
+		return nil, err
+	}
+	// Extra arrivals only inside burst windows.
+	extraRate := spec.BurstRate - spec.BaseRate
+	var extra []time.Duration
+	if extraRate > 0 {
+		all, err := Poisson(rng, extraRate, dur)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range all {
+			if InBurst(spec, t) {
+				extra = append(extra, t)
+			}
+		}
+	}
+	out := append(base, extra...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// InBurst reports whether time t falls inside a burst window of the spec.
+func InBurst(spec BurstSpec, t time.Duration) bool {
+	return t%spec.Period < spec.BurstLen
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPoissonRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arrivals, err := Poisson(rng, 50, 100*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5000 arrivals expected; Poisson sd ~71.
+	if n := len(arrivals); math.Abs(float64(n)-5000) > 300 {
+		t.Fatalf("got %d arrivals, want ~5000", n)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			t.Fatal("arrivals must be sorted")
+		}
+	}
+	if arrivals[len(arrivals)-1] >= 100*time.Second {
+		t.Fatal("arrival beyond horizon")
+	}
+}
+
+func TestPoissonErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Poisson(rng, 0, time.Second); err == nil {
+		t.Fatal("expected rate error")
+	}
+	if _, err := Poisson(rng, 1, 0); err == nil {
+		t.Fatal("expected duration error")
+	}
+}
+
+func TestBurstyRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := BurstSpec{
+		BaseRate:  10,
+		BurstRate: 200,
+		Period:    10 * time.Second,
+		BurstLen:  2 * time.Second,
+	}
+	arrivals, err := Bursty(rng, spec, 100*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inBurst, outBurst int
+	for _, a := range arrivals {
+		if InBurst(spec, a) {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// Burst windows: 20 s total at 200 qps ≈ 4000; steady: 80 s at 10 ≈ 800.
+	if math.Abs(float64(inBurst)-4000) > 400 {
+		t.Fatalf("burst arrivals %d, want ~4000", inBurst)
+	}
+	if math.Abs(float64(outBurst)-800) > 150 {
+		t.Fatalf("steady arrivals %d, want ~800", outBurst)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			t.Fatal("bursty arrivals must be sorted")
+		}
+	}
+}
+
+func TestBurstSpecValidate(t *testing.T) {
+	bad := []BurstSpec{
+		{BaseRate: 0, BurstRate: 10, Period: time.Second, BurstLen: time.Second},
+		{BaseRate: 10, BurstRate: 5, Period: time.Second, BurstLen: time.Second},
+		{BaseRate: 1, BurstRate: 2, Period: time.Second, BurstLen: 2 * time.Second},
+		{BaseRate: 1, BurstRate: 2, Period: 0, BurstLen: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+	good := BurstSpec{BaseRate: 1, BurstRate: 10, Period: time.Minute, BurstLen: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	spec := BurstSpec{BaseRate: 5, BurstRate: 50, Period: 5 * time.Second, BurstLen: time.Second}
+	a, _ := Bursty(rand.New(rand.NewSource(9)), spec, 30*time.Second)
+	b, _ := Bursty(rand.New(rand.NewSource(9)), spec, 30*time.Second)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic arrivals")
+		}
+	}
+}

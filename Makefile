@@ -1,0 +1,26 @@
+# CI entry points. `make ci` is what a pre-merge check runs: vet, build,
+# full test suite, and the race detector on the concurrency-bearing
+# packages (the kernel execution engine and everything that drives it).
+
+GO ?= go
+RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime
+
+.PHONY: ci vet build test race bench-kernels
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Regenerate the checked-in kernel benchmark baseline on this machine.
+bench-kernels:
+	$(GO) run ./cmd/gillis-bench -figs kernels -kernels-json BENCH_kernels.json

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	gillis-bench [-figs 1,7,9,10,11,12,13,14,15] [-seed N] [-queries N]
-//	             [-quick] [-out FILE]
+//	gillis-bench [-figs 1,7,9,10,11,12,13,14,15,kernels] [-seed N]
+//	             [-queries N] [-quick] [-out FILE] [-parallelism N]
+//	             [-kernels-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -12,10 +13,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"gillis/internal/bench"
+	"gillis/internal/par"
 )
 
 type figure struct {
@@ -37,6 +40,7 @@ func figures() []figure {
 		{"ablations", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Ablations(c) }},
 		{"burst", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Burst(c) }},
 		{"load", func(c *bench.Context) (interface{ Table() string }, error) { return bench.DynamicLoad(c) }},
+		{"kernels", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Kernels(c) }},
 	}
 }
 
@@ -49,13 +53,43 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gillis-bench", flag.ContinueOnError)
-	figsFlag := fs.String("figs", "1,7,9,10,11,12,13,14,15,ablations,burst,load", "comma-separated figures to run")
+	figsFlag := fs.String("figs", "1,7,9,10,11,12,13,14,15,ablations,burst,load,kernels", "comma-separated figures to run")
 	seed := fs.Int64("seed", 42, "random seed for all stochastic components")
 	queries := fs.Int("queries", 100, "queries per latency measurement")
 	quick := fs.Bool("quick", false, "trim sweeps and training budgets")
 	out := fs.String("out", "", "also write tables to this file")
+	parallelism := fs.Int("parallelism", 0, "kernel parallelism cap for Real-mode math (0 = GOMAXPROCS)")
+	kernelsJSON := fs.String("kernels-json", "", "write the kernels figure as JSON to this file (BENCH_kernels.json baseline)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *parallelism > 0 {
+		restore := par.SetParallelism(*parallelism)
+		defer restore()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 
 	ctx := bench.NewContext(*seed)
@@ -89,6 +123,19 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(sink, res.Table())
 		fmt.Fprintf(sink, "(figure %s regenerated in %v)\n\n", fig.id, time.Since(start).Round(time.Millisecond))
+		if fig.id == "kernels" && *kernelsJSON != "" {
+			report, ok := res.(*bench.KernelReport)
+			if !ok {
+				return fmt.Errorf("kernels figure returned %T", res)
+			}
+			js, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*kernelsJSON, js, 0o644); err != nil {
+				return err
+			}
+		}
 	}
 	if file != nil {
 		return file.Close()

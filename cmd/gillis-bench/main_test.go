@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -45,9 +46,46 @@ func TestFiguresListComplete(t *testing.T) {
 	for _, f := range figures() {
 		ids[f.id] = true
 	}
-	for _, want := range []string{"1", "7", "9", "10", "11", "12", "13", "14", "15", "ablations", "burst"} {
+	for _, want := range []string{"1", "7", "9", "10", "11", "12", "13", "14", "15", "ablations", "burst", "kernels"} {
 		if !ids[want] {
 			t.Errorf("figure %s missing from registry", want)
+		}
+	}
+}
+
+func TestRunKernelsWritesJSONBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-figs", "kernels", "-quick", "-kernels-json", path, "-parallelism", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Kernel forwards") {
+		t.Fatalf("stdout missing kernels table:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"gomaxprocs\"") || !strings.Contains(string(data), "conv3x3-c32-28x28") {
+		t.Fatalf("baseline JSON malformed:\n%s", data)
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := run([]string{"-figs", "14", "-quick", "-queries", "5", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
 		}
 	}
 }

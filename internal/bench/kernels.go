@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"gillis/internal/nn"
+	"gillis/internal/par"
+	"gillis/internal/tensor"
+)
+
+// The kernel microbenchmark measures the operator forwards the serving
+// runtime executes in Real mode, at kernel parallelism 1, 2 and all
+// hardware threads. Its JSON output is the checked-in BENCH_kernels.json
+// baseline: regressions in single-core speed, multi-core scaling, or
+// allocation behaviour show up as diffs against it.
+
+// KernelResult is one (kernel, parallelism) measurement.
+type KernelResult struct {
+	Kernel      string  `json:"kernel"`
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+}
+
+// KernelReport is the full sweep plus the hardware context needed to
+// interpret it (speedups are meaningless without the core count).
+type KernelReport struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Levels     []int          `json:"levels"`
+	Results    []KernelResult `json:"results"`
+}
+
+// kernelCase is one op + input to sweep.
+type kernelCase struct {
+	name string
+	op   nn.Op
+	in   *tensor.Tensor
+}
+
+func kernelCases() []kernelCase {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(op nn.Op) nn.Op {
+		op.Init(rng)
+		return op
+	}
+	return []kernelCase{
+		{"conv3x3-c32-28x28", mk(nn.NewConv2D("c", 32, 32, 3, 1, 1)), tensor.Rand(rng, 1, 32, 28, 28)},
+		{"conv3x3-c128-14x14", mk(nn.NewConv2D("cw", 128, 128, 3, 1, 1)), tensor.Rand(rng, 1, 128, 14, 14)},
+		{"depthwise3x3-c64-28x28", mk(nn.NewDepthwiseConv2D("d", 64, 3, 1, 1)), tensor.Rand(rng, 1, 64, 28, 28)},
+		{"dense-2048x1000", mk(nn.NewDense("fc", 2048, 1000)), tensor.Rand(rng, 1, 2048)},
+		{"lstm-t16-h128", mk(nn.NewLSTM("l", 128, 128)), tensor.Rand(rng, 1, 16, 128)},
+	}
+}
+
+// kernelLevels returns the parallelism sweep: 1, 2, and every hardware
+// thread, deduplicated.
+func kernelLevels() []int {
+	n := runtime.GOMAXPROCS(0)
+	levels := []int{1}
+	if n >= 2 {
+		levels = append(levels, 2)
+	}
+	if n > 2 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// measure times op.Forward(x) for at least minDuration (and 5 iterations),
+// returning ns/op and per-op allocation deltas.
+func measure(op nn.Op, x *tensor.Tensor, minDuration time.Duration) (nsPerOp, allocsPerOp, bytesPerOp int64, err error) {
+	for i := 0; i < 2; i++ { // warm up scratch arena and pool workers
+		if _, err = op.Forward(x); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minDuration || iters < 5 {
+		if _, err = op.Forward(x); err != nil {
+			return 0, 0, 0, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return elapsed.Nanoseconds() / n,
+		int64(after.Mallocs-before.Mallocs) / n,
+		int64(after.TotalAlloc-before.TotalAlloc) / n,
+		nil
+}
+
+// Kernels runs the kernel microbenchmark sweep. Quick mode trims the
+// per-measurement budget so the sweep stays test-suite friendly.
+func Kernels(c *Context) (*KernelReport, error) {
+	budget := 300 * time.Millisecond
+	if c.Quick {
+		budget = 20 * time.Millisecond
+	}
+	report := &KernelReport{GoMaxProcs: runtime.GOMAXPROCS(0), Levels: kernelLevels()}
+	for _, kc := range kernelCases() {
+		var serialNs int64
+		for _, p := range report.Levels {
+			restore := par.SetParallelism(p)
+			nsOp, allocs, bytes, err := measure(kc.op, kc.in, budget)
+			restore()
+			if err != nil {
+				return nil, fmt.Errorf("kernel %s p=%d: %w", kc.name, p, err)
+			}
+			if p == 1 {
+				serialNs = nsOp
+			}
+			speedup := 0.0
+			if nsOp > 0 && serialNs > 0 {
+				speedup = float64(serialNs) / float64(nsOp)
+			}
+			report.Results = append(report.Results, KernelResult{
+				Kernel:      kc.name,
+				Parallelism: p,
+				NsPerOp:     nsOp,
+				AllocsPerOp: allocs,
+				BytesPerOp:  bytes,
+				Speedup:     speedup,
+			})
+		}
+	}
+	return report, nil
+}
+
+// Table renders the sweep in the same tabular style as the figure runners.
+func (r *KernelReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Kernel forwards (GOMAXPROCS=%d)\n", r.GoMaxProcs)
+	fmt.Fprintf(&sb, "%-24s %4s %12s %9s %11s %12s\n", "kernel", "p", "ns/op", "speedup", "allocs/op", "bytes/op")
+	for _, res := range r.Results {
+		fmt.Fprintf(&sb, "%-24s %4d %12d %8.2fx %11d %12d\n",
+			res.Kernel, res.Parallelism, res.NsPerOp, res.Speedup, res.AllocsPerOp, res.BytesPerOp)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// JSON renders the report as the BENCH_kernels.json baseline format.
+func (r *KernelReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKernelsSweepShape(t *testing.T) {
+	rep, err := Kernels(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoMaxProcs < 1 || len(rep.Levels) < 1 || rep.Levels[0] != 1 {
+		t.Fatalf("bad sweep header: %+v", rep)
+	}
+	wantResults := 5 * len(rep.Levels)
+	if len(rep.Results) != wantResults {
+		t.Fatalf("want %d results (5 kernels x %d levels), got %d", wantResults, len(rep.Levels), len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s p=%d: non-positive ns/op", r.Kernel, r.Parallelism)
+		}
+		if r.Parallelism == 1 && r.Speedup != 1 {
+			t.Errorf("%s: serial speedup must be exactly 1, got %v", r.Kernel, r.Speedup)
+		}
+		// Scratch reuse: steady-state forwards allocate only the output
+		// tensor, closures, and per-call bookkeeping — strictly bounded.
+		if r.AllocsPerOp > 16 {
+			t.Errorf("%s p=%d: %d allocs/op, scratch arena is not being reused", r.Kernel, r.Parallelism, r.AllocsPerOp)
+		}
+	}
+	table := rep.Table()
+	if !strings.Contains(table, "conv3x3-c32-28x28") || !strings.Contains(table, "lstm-t16-h128") {
+		t.Fatalf("table missing kernels:\n%s", table)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round KernelReport
+	if err := json.Unmarshal(js, &round); err != nil {
+		t.Fatalf("baseline JSON does not round-trip: %v", err)
+	}
+	if len(round.Results) != len(rep.Results) {
+		t.Fatal("JSON round-trip lost results")
+	}
+}

@@ -1,64 +1,88 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
+	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
+
+// parLevels returns the parallelism levels every kernel benchmark sweeps:
+// serial, two-way, and all hardware threads (deduplicated and sorted).
+func parLevels() []int {
+	n := runtime.GOMAXPROCS(0)
+	levels := []int{1}
+	if n >= 2 {
+		levels = append(levels, 2)
+	}
+	if n > 2 {
+		levels = append(levels, n)
+	}
+	return levels
+}
+
+// benchForward runs op.Forward(x) at every parallelism level as
+// subbenchmarks named p1, p2, pN.
+func benchForward(b *testing.B, op Op, x *tensor.Tensor) {
+	b.Helper()
+	for _, p := range parLevels() {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			restore := par.SetParallelism(p)
+			defer restore()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := op.Forward(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkConv2DForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	c := NewConv2D("c", 32, 32, 3, 1, 1)
 	c.Init(rng)
-	x := tensor.Rand(rng, 1, 32, 28, 28)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Forward(x); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchForward(b, c, tensor.Rand(rng, 1, 32, 28, 28))
+}
+
+// BenchmarkConv2DForwardWide is the large-channel regime (ResNet body
+// blocks) where the GEMM dominates and multi-core speedup should be
+// closest to linear.
+func BenchmarkConv2DForwardWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D("cw", 128, 128, 3, 1, 1)
+	c.Init(rng)
+	benchForward(b, c, tensor.Rand(rng, 1, 128, 14, 14))
 }
 
 func BenchmarkDepthwiseConv2DForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	d := NewDepthwiseConv2D("d", 64, 3, 1, 1)
 	d.Init(rng)
-	x := tensor.Rand(rng, 1, 64, 28, 28)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := d.Forward(x); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchForward(b, d, tensor.Rand(rng, 1, 64, 28, 28))
 }
 
 func BenchmarkLSTMForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	l := NewLSTM("l", 128, 128)
 	l.Init(rng)
-	x := tensor.Rand(rng, 1, 16, 128)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := l.Forward(x); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchForward(b, l, tensor.Rand(rng, 1, 16, 128))
 }
 
 func BenchmarkDenseForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	d := NewDense("d", 2048, 1000)
 	d.Init(rng)
-	x := tensor.Rand(rng, 1, 2048)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := d.Forward(x); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchForward(b, d, tensor.Rand(rng, 1, 2048))
+}
+
+func BenchmarkMaxPool2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMaxPool2D("m", 3, 2, 1)
+	benchForward(b, m, tensor.Rand(rng, 1, 64, 56, 56))
 }

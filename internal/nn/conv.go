@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
 
@@ -132,25 +133,32 @@ func (c *Conv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error)
 	// Explicitly pad, then run a valid convolution. This is the trick that
 	// makes halo-correct partitioned execution trivially exact: interior
 	// partitions receive real halo rows where the monolithic run would see
-	// neighbours, and boundary partitions receive the same zero rows.
-	var err error
+	// neighbours, and boundary partitions receive the same zero rows. The
+	// padded copy is staged in the scratch arena rather than a fresh tensor.
+	h, w := x.Dim(1), x.Dim(2)
+	xd := x.Data()
 	if c.Pad > 0 {
-		x, err = x.PadDim(2, c.Pad, c.Pad)
-		if err != nil {
-			return nil, err
-		}
+		padTop := 0
 		if padH {
-			x, err = x.PadDim(1, c.Pad, c.Pad)
-			if err != nil {
-				return nil, err
+			padTop = c.Pad
+		}
+		ph, pw := h+2*padTop, w+2*c.Pad
+		pbuf := par.GetF32(c.InC * ph * pw)
+		defer par.PutF32(pbuf)
+		padded := *pbuf
+		clear(padded)
+		for ic := 0; ic < c.InC; ic++ {
+			for y := 0; y < h; y++ {
+				dst := (ic*ph+padTop+y)*pw + c.Pad
+				copy(padded[dst:dst+w], xd[(ic*h+y)*w:(ic*h+y)*w+w])
 			}
 		}
+		xd, h, w = padded, ph, pw
 	}
-	h, w := x.Dim(1), x.Dim(2)
 	oh := (h-c.Kernel)/c.Stride + 1
 	ow := (w-c.Kernel)/c.Stride + 1
 	if oh <= 0 || ow <= 0 {
-		return nil, fmt.Errorf("nn: Conv2D %q empty output for padded input %v", c.OpName, x.Shape())
+		return nil, fmt.Errorf("nn: Conv2D %q empty output for padded input %v", c.OpName, []int{c.InC, h, w})
 	}
 	out := tensor.New(c.OutC, oh, ow)
 
@@ -158,44 +166,46 @@ func (c *Conv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error)
 	// the (ic, ky, kx) order of the reference triple loop, so results are
 	// bitwise identical to naive convolution — partitioned-vs-monolithic
 	// equality tests rely on this — while the contiguous inner loops
-	// vectorize.
-	xd, wd, bd, od := x.Data(), c.W.Data(), c.B.Data(), out.Data()
+	// vectorize. Parallelism is over im2col rows and output channels: both
+	// write disjoint ranges, and no reduction is ever split, so outputs
+	// stay bitwise identical at every parallelism level.
+	wd, bd, od := c.W.Data(), c.B.Data(), out.Data()
 	k := c.Kernel
 	pixels := oh * ow
-	cols := make([]float32, c.InC*k*k*pixels)
-	row := 0
-	for ic := 0; ic < c.InC; ic++ {
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				dst := cols[row*pixels : (row+1)*pixels]
-				for oy := 0; oy < oh; oy++ {
-					src := (ic*h+oy*c.Stride+ky)*w + kx
-					if c.Stride == 1 {
-						copy(dst[oy*ow:(oy+1)*ow], xd[src:src+ow])
-						continue
-					}
-					for ox := 0; ox < ow; ox++ {
-						dst[oy*ow+ox] = xd[src+ox*c.Stride]
-					}
-				}
-				row++
-			}
-		}
-	}
 	rows := c.InC * k * k
-	for oc := 0; oc < c.OutC; oc++ {
-		acc := od[oc*pixels : (oc+1)*pixels]
-		for i := range acc {
-			acc[i] = bd[oc]
-		}
-		wRow := wd[oc*rows : (oc+1)*rows]
-		for j, wj := range wRow {
-			col := cols[j*pixels : (j+1)*pixels]
-			for i, v := range col {
-				acc[i] += wj * v
+	cbuf := par.GetF32(rows * pixels)
+	defer par.PutF32(cbuf)
+	cols := *cbuf
+	par.For(rows, pixels, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			ic := row / (k * k)
+			ky := (row / k) % k
+			kx := row % k
+			dst := cols[row*pixels : (row+1)*pixels]
+			for oy := 0; oy < oh; oy++ {
+				src := (ic*h+oy*c.Stride+ky)*w + kx
+				if c.Stride == 1 {
+					copy(dst[oy*ow:(oy+1)*ow], xd[src:src+ow])
+					continue
+				}
+				for ox := 0; ox < ow; ox++ {
+					dst[oy*ow+ox] = xd[src+ox*c.Stride]
+				}
 			}
 		}
-	}
+	})
+	par.For(c.OutC, 2*rows*pixels, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			acc := od[oc*pixels : (oc+1)*pixels]
+			for i := range acc {
+				acc[i] = bd[oc]
+			}
+			wRow := wd[oc*rows : (oc+1)*rows]
+			for j, wj := range wRow {
+				axpy(wj, cols[j*pixels:(j+1)*pixels], acc)
+			}
+		}
+	})
 	return out, nil
 }
 

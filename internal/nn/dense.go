@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
 
@@ -104,14 +105,14 @@ func (d *Dense) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	out := tensor.New(d.Out)
 	xd, wd, bd, od := x.Data(), d.W.Data(), d.B.Data(), out.Data()
-	for o := 0; o < d.Out; o++ {
-		acc := bd[o]
-		row := wd[o*d.In : (o+1)*d.In]
-		for i, v := range xd {
-			acc += row[i] * v
+	// Parallel over output rows; each row's dot product stays a single
+	// left-to-right reduction, so outputs are bitwise identical at every
+	// parallelism level.
+	par.For(d.Out, 2*d.In, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			od[o] = dotAcc(bd[o], xd, wd[o*d.In:(o+1)*d.In])
 		}
-		od[o] = acc
-	}
+	})
 	return out, nil
 }
 

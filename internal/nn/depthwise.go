@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
 
@@ -137,53 +138,58 @@ func (d *DepthwiseConv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tenso
 	if x.Rank() != 3 || x.Dim(0) != d.C {
 		return nil, fmt.Errorf("nn: DepthwiseConv2D %q bad input %v", d.OpName, x.Shape())
 	}
-	var err error
-	if d.Lo != 0 || d.Hi != d.C {
-		x, err = x.SliceDim(0, d.Lo, d.Hi)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if d.Pad > 0 {
-		x, err = x.PadDim(2, d.Pad, d.Pad)
-		if err != nil {
-			return nil, err
-		}
+	// Stage the operator's channel window (and any zero padding) in one
+	// scratch buffer instead of materializing slice/pad tensors per call.
+	span, h, w := d.span(), x.Dim(1), x.Dim(2)
+	xd := x.Data()
+	if d.Lo != 0 || d.Hi != d.C || d.Pad > 0 {
+		padTop := 0
 		if padH {
-			x, err = x.PadDim(1, d.Pad, d.Pad)
-			if err != nil {
-				return nil, err
+			padTop = d.Pad
+		}
+		ph, pw := h+2*padTop, w+2*d.Pad
+		sbuf := par.GetF32(span * ph * pw)
+		defer par.PutF32(sbuf)
+		staged := *sbuf
+		clear(staged)
+		for c := 0; c < span; c++ {
+			srcC := d.Lo + c
+			for y := 0; y < h; y++ {
+				dst := (c*ph+padTop+y)*pw + d.Pad
+				copy(staged[dst:dst+w], xd[(srcC*h+y)*w:(srcC*h+y)*w+w])
 			}
 		}
+		xd, h, w = staged, ph, pw
 	}
-	span, h, w := d.span(), x.Dim(1), x.Dim(2)
 	oh := (h-d.Kernel)/d.Stride + 1
 	ow := (w-d.Kernel)/d.Stride + 1
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("nn: DepthwiseConv2D %q empty output", d.OpName)
 	}
 	out := tensor.New(span, oh, ow)
-	xd, wd, bd, od := x.Data(), d.W.Data(), d.B.Data(), out.Data()
+	wd, bd, od := d.W.Data(), d.B.Data(), out.Data()
 	k := d.Kernel
-	for c := 0; c < span; c++ {
-		bias := bd[c]
-		wBase := c * k * k
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy * d.Stride
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox * d.Stride
-				acc := bias
-				for ky := 0; ky < k; ky++ {
-					xRow := (c*h+iy0+ky)*w + ix0
-					wRow := wBase + ky*k
-					for kx := 0; kx < k; kx++ {
-						acc += xd[xRow+kx] * wd[wRow+kx]
+	// Output channel c depends only on input channel c: parallelizing over
+	// channels splits no reduction, so outputs are bitwise identical at
+	// every parallelism level.
+	par.For(span, 2*oh*ow*k*k, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			bias := bd[c]
+			wBase := c * k * k
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * d.Stride
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox * d.Stride
+					acc := bias
+					for ky := 0; ky < k; ky++ {
+						xRow := (c*h+iy0+ky)*w + ix0
+						acc = dotAcc(acc, xd[xRow:xRow+k], wd[wBase+ky*k:wBase+(ky+1)*k])
 					}
+					od[(c*oh+oy)*ow+ox] = acc
 				}
-				od[(c*oh+oy)*ow+ox] = acc
 			}
 		}
-	}
+	})
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
 
@@ -123,24 +124,33 @@ func (l *LSTM) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	xd, od := x.Data(), out.Data()
 	wx, wh, bias := l.Wx.Data(), l.Wh.Data(), l.B.Data()
 
-	hState := make([]float32, h)
-	cState := make([]float32, h)
-	gates := make([]float32, 4*h)
-	for t := 0; t < steps; t++ {
-		xt := xd[t*l.InSize : (t+1)*l.InSize]
-		for g := 0; g < 4*h; g++ {
-			acc := bias[g]
-			rowX := wx[g*l.InSize : (g+1)*l.InSize]
-			for i, v := range xt {
-				acc += rowX[i] * v
-			}
-			rowH := wh[g*h : (g+1)*h]
-			for i, v := range hState {
-				acc += rowH[i] * v
-			}
-			gates[g] = acc
+	// All per-step temporaries come from the scratch arena; repeated
+	// forwards allocate nothing beyond the output tensor.
+	hBuf, cBuf, gBuf := par.GetF32(h), par.GetF32(h), par.GetF32(4*h)
+	defer par.PutF32(hBuf)
+	defer par.PutF32(cBuf)
+	defer par.PutF32(gBuf)
+	hState, cState, gates := *hBuf, *cBuf, *gBuf
+	clear(hState)
+	clear(cState)
+	// The timestep recurrence is inherently serial, but within a step the
+	// 4*Hidden gate rows are independent dot products and the Hidden state
+	// updates are element-wise; parallelizing over those rows splits no
+	// reduction, so outputs are bitwise identical at every parallelism
+	// level.
+	// Both bodies are hoisted out of the timestep loop so each Forward
+	// allocates the closures once, not per step; xt is rebound between
+	// steps (serially, after For returns, so no goroutine observes a
+	// partial update).
+	var xt []float32
+	gateRows := func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			acc := dotAcc(bias[g], xt, wx[g*l.InSize:(g+1)*l.InSize])
+			gates[g] = dotAcc(acc, hState, wh[g*h:(g+1)*h])
 		}
-		for j := 0; j < h; j++ {
+	}
+	stateUpdate := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
 			ig := sigmoid(gates[j])
 			fg := sigmoid(gates[h+j])
 			gg := float32(math.Tanh(float64(gates[2*h+j])))
@@ -148,6 +158,11 @@ func (l *LSTM) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 			cState[j] = fg*cState[j] + ig*gg
 			hState[j] = og * float32(math.Tanh(float64(cState[j])))
 		}
+	}
+	for t := 0; t < steps; t++ {
+		xt = xd[t*l.InSize : (t+1)*l.InSize]
+		par.For(4*h, 2*(l.InSize+h), gateRows)
+		par.For(h, 64, stateUpdate)
 		copy(od[t*h:(t+1)*h], hState)
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
 
@@ -102,32 +103,36 @@ func (m *MaxPool2D) pool(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error)
 	out := tensor.New(c, oh, ow)
 	xd, od := x.Data(), out.Data()
 	negInf := float32(math.Inf(-1))
-	for ci := 0; ci < c; ci++ {
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*m.Stride - padTop
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*m.Stride - m.Pad
-				best := negInf
-				for ky := 0; ky < m.Kernel; ky++ {
-					y := iy0 + ky
-					if y < 0 || y >= h {
-						continue
-					}
-					row := (ci*h + y) * w
-					for kx := 0; kx < m.Kernel; kx++ {
-						xx := ix0 + kx
-						if xx < 0 || xx >= w {
+	// Channels are independent: parallelizing over them preserves bitwise
+	// outputs at every parallelism level.
+	par.For(c, oh*ow*m.Kernel*m.Kernel, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*m.Stride - padTop
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*m.Stride - m.Pad
+					best := negInf
+					for ky := 0; ky < m.Kernel; ky++ {
+						y := iy0 + ky
+						if y < 0 || y >= h {
 							continue
 						}
-						if v := xd[row+xx]; v > best {
-							best = v
+						row := (ci*h + y) * w
+						for kx := 0; kx < m.Kernel; kx++ {
+							xx := ix0 + kx
+							if xx < 0 || xx >= w {
+								continue
+							}
+							if v := xd[row+xx]; v > best {
+								best = v
+							}
 						}
 					}
+					od[(ci*oh+oy)*ow+ox] = best
 				}
-				od[(ci*oh+oy)*ow+ox] = best
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -213,20 +218,24 @@ func (a *AvgPool2D) ForwardValidH(in ...*tensor.Tensor) (*tensor.Tensor, error) 
 	out := tensor.New(c, oh, ow)
 	xd, od := x.Data(), out.Data()
 	norm := 1 / float32(a.Kernel*a.Kernel)
-	for ci := 0; ci < c; ci++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				var acc float32
-				for ky := 0; ky < a.Kernel; ky++ {
-					row := (ci*h + oy*a.Stride + ky) * w
-					for kx := 0; kx < a.Kernel; kx++ {
-						acc += xd[row+ox*a.Stride+kx]
+	// Channels are independent: parallelizing over them preserves bitwise
+	// outputs at every parallelism level.
+	par.For(c, oh*ow*a.Kernel*a.Kernel, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float32
+					for ky := 0; ky < a.Kernel; ky++ {
+						row := (ci*h + oy*a.Stride + ky) * w
+						for kx := 0; kx < a.Kernel; kx++ {
+							acc += xd[row+ox*a.Stride+kx]
+						}
 					}
+					od[(ci*oh+oy)*ow+ox] = acc * norm
 				}
-				od[(ci*oh+oy)*ow+ox] = acc * norm
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -289,12 +298,16 @@ func (g *GlobalAvgPool) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	out := tensor.New(c)
 	xd, od := x.Data(), out.Data()
 	norm := 1 / float32(h*w)
-	for ci := 0; ci < c; ci++ {
-		var acc float32
-		for i := ci * h * w; i < (ci+1)*h*w; i++ {
-			acc += xd[i]
+	// Per-channel means are independent reductions; the per-channel
+	// accumulation order is unchanged under parallelism.
+	par.For(c, h*w, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			var acc float32
+			for i := ci * h * w; i < (ci+1)*h*w; i++ {
+				acc += xd[i]
+			}
+			od[ci] = acc * norm
 		}
-		od[ci] = acc * norm
-	}
+	})
 	return out, nil
 }

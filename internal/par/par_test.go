@@ -1,0 +1,142 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// forceParallel raises the cap above GOMAXPROCS so the parallel path is
+// exercised even on single-core CI machines.
+func forceParallel(t *testing.T, n int) {
+	t.Helper()
+	restore := SetParallelism(n)
+	t.Cleanup(restore)
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	forceParallel(t, 7)
+	for _, n := range []int{1, 2, 3, 13, 64, 997, 4096} {
+		hits := make([]int32, n)
+		For(n, minParallelWork, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("n=%d: bad range [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForSmallWorkRunsInline(t *testing.T) {
+	forceParallel(t, 8)
+	calls := 0
+	For(100, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("inline fallback got [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("inline fallback called body %d times", calls)
+	}
+}
+
+func TestForParallelismOneRunsInline(t *testing.T) {
+	forceParallel(t, 1)
+	calls := 0
+	For(1000, minParallelWork, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("parallelism 1 called body %d times, want 1", calls)
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	For(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not run for n <= 0")
+	}
+}
+
+func TestForNestedDoesNotDeadlock(t *testing.T) {
+	forceParallel(t, 4)
+	var total atomic.Int64
+	For(8, minParallelWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(8, minParallelWork, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested For covered %d inner indices, want 64", total.Load())
+	}
+}
+
+func TestForConcurrentCallers(t *testing.T) {
+	forceParallel(t, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := make([]int64, 256)
+			For(256, minParallelWork, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sum[i] = int64(i)
+				}
+			})
+			for i, v := range sum {
+				if v != int64(i) {
+					t.Errorf("lost write at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSetParallelismRestore(t *testing.T) {
+	base := Parallelism()
+	restore := SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	restore()
+	if got := Parallelism(); got != base {
+		t.Fatalf("restore: Parallelism() = %d, want %d", got, base)
+	}
+	// n <= 0 restores the GOMAXPROCS default.
+	restore = SetParallelism(-1)
+	defer restore()
+	if Parallelism() < 1 {
+		t.Fatal("Parallelism() must be at least 1")
+	}
+}
+
+func TestScratchBufferReuse(t *testing.T) {
+	b := GetF32(1024)
+	if len(*b) != 1024 {
+		t.Fatalf("GetF32 len = %d, want 1024", len(*b))
+	}
+	(*b)[0] = 42
+	PutF32(b)
+	// A smaller request must reuse capacity, not reallocate.
+	c := GetF32(16)
+	if len(*c) != 16 {
+		t.Fatalf("GetF32 len = %d, want 16", len(*c))
+	}
+	if cap(*c) < 1024 {
+		t.Fatalf("scratch buffer was not reused: cap %d", cap(*c))
+	}
+	PutF32(c)
+}

@@ -1,0 +1,30 @@
+package par
+
+import "sync"
+
+// The scratch arena recycles float32 buffers across kernel invocations so
+// hot forwards allocate nothing beyond their output tensor. sync.Pool keeps
+// per-P free lists, so concurrent forwards (one per simulated function
+// instance, or one per serving goroutine) each reuse their own warm buffers
+// without contention.
+//
+// Buffers are returned with undefined contents; callers that need zeroed
+// storage (e.g. padded-input staging) must clear the region themselves.
+var f32Pool = sync.Pool{New: func() any { return new([]float32) }}
+
+// GetF32 returns a length-n float32 scratch buffer with undefined contents.
+// The *[]float32 handle must be released with PutF32 when the kernel is
+// done; the slice must not be retained afterwards.
+func GetF32(n int) *[]float32 {
+	b := f32Pool.Get().(*[]float32)
+	if cap(*b) < n {
+		*b = make([]float32, n)
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+// PutF32 returns a buffer obtained from GetF32 to the arena.
+func PutF32(b *[]float32) {
+	f32Pool.Put(b)
+}

@@ -1,0 +1,62 @@
+package runtime
+
+import "gillis/internal/par"
+
+// deployOpts collects optional deployment configuration shared by the
+// fork-join and pipeline deployments.
+type deployOpts struct {
+	// parallelism is the modeled vCPU count per function instance;
+	// 0 means "unspecified": kernels inherit the process-wide default and
+	// simulated compute time is not rescaled.
+	parallelism int
+}
+
+// DeployOption configures a deployment.
+type DeployOption func(*deployOpts)
+
+// WithParallelism models function instances with n vCPUs (e.g. a 1769 MB
+// Lambda has 1, a 10 GB Lambda has 6). It has two effects, one per
+// execution mode:
+//
+//   - Real-mode kernels execute with kernel parallelism exactly n, so a
+//     1-vCPU deployment measures single-core forwards and an n-vCPU one
+//     measures multi-core forwards. Outputs are bitwise identical either
+//     way (see package par).
+//   - Simulated compute time (both modes) is divided by an Amdahl speedup
+//     with parallel fraction 0.9, approximating how much of an operator's
+//     FLOP time multi-core execution actually recovers.
+func WithParallelism(n int) DeployOption {
+	return func(o *deployOpts) {
+		if n > 0 {
+			o.parallelism = n
+		}
+	}
+}
+
+// parallelFraction is the Amdahl parallel fraction of kernel work used to
+// scale simulated compute time: im2col, GEMM and gate matmuls parallelize,
+// while padding, reassembly and dispatch do not.
+const parallelFraction = 0.9
+
+// speedup returns the modeled compute speedup of a function instance with
+// the options' vCPU count (1.0 when unspecified).
+func (o deployOpts) speedup() float64 {
+	if o.parallelism <= 1 {
+		return 1
+	}
+	n := float64(o.parallelism)
+	return 1 / ((1 - parallelFraction) + parallelFraction/n)
+}
+
+// kernelScope installs the deployment's kernel parallelism for the duration
+// of a Real-mode forward and returns the restore function. The underlying
+// knob is process-wide (see par.SetParallelism); within one simulation Env
+// at most one process executes at a time, so scopes never overlap there,
+// and overlap across concurrently running simulations only perturbs
+// scheduling, never results.
+func (o deployOpts) kernelScope() (restore func()) {
+	if o.parallelism <= 0 {
+		return func() {}
+	}
+	return par.SetParallelism(o.parallelism)
+}

@@ -62,6 +62,7 @@ type Deployment struct {
 	mode   ExecMode
 	prefix string
 	groups []*groupRuntime
+	opts   deployOpts
 
 	// Master is the entry function name.
 	Master string
@@ -71,7 +72,7 @@ type Deployment struct {
 // the master and worker functions, and returns a ready deployment. It
 // returns an error (the deployment-time analogue of the paper's OOM
 // failures) if any function's resident set exceeds the weight budget.
-func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan, mode ExecMode) (*Deployment, error) {
+func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan, mode ExecMode, opts ...DeployOption) (*Deployment, error) {
 	if err := plan.Validate(units); err != nil {
 		return nil, err
 	}
@@ -93,6 +94,9 @@ func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan,
 		plan:   plan,
 		mode:   mode,
 		prefix: fmt.Sprintf("%s-d%d", plan.Model, deploySeq.Add(1)),
+	}
+	for _, opt := range opts {
+		opt(&d.opts)
 	}
 	d.Master = d.prefix + "-master"
 
@@ -258,6 +262,8 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 	if opt.Dim == partition.DimNone && gr.gp.OnMaster {
 		d.computeScaled(ctx, gr, 1.0)
 		if d.mode == Real {
+			restore := d.opts.kernelScope()
+			defer restore()
 			return partition.ForwardChain(gr.units, in)
 		}
 		return nil, nil
@@ -299,7 +305,9 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 	if gr.gp.OnMaster {
 		d.computeScaled(ctx, gr, flopFrac(gr, 0))
 		if d.mode == Real {
+			restore := d.opts.kernelScope()
 			out, err := d.execPart(gr, 0, in)
+			restore()
 			if err != nil {
 				return nil, err
 			}
@@ -342,7 +350,9 @@ func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload plat
 			if !ok {
 				return platform.Payload{}, fmt.Errorf("runtime: worker got %T", payload.Data)
 			}
+			restore := d.opts.kernelScope()
 			out, err := partition.ForwardChain(gr.units, in)
+			restore()
 			if err != nil {
 				return platform.Payload{}, err
 			}
@@ -358,7 +368,9 @@ func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload plat
 		if !ok {
 			return platform.Payload{}, fmt.Errorf("runtime: worker got %T", payload.Data)
 		}
+		restore := d.opts.kernelScope()
 		out, err := d.execPartFromSlab(gr, part, in)
+		restore()
 		if err != nil {
 			return platform.Payload{}, err
 		}
@@ -369,8 +381,11 @@ func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload plat
 
 // computeScaled advances the worker's clock by the group's ops scaled to
 // the partition's share of the work (exact FLOPs incl. halo redundancy).
+// The modeled per-instance vCPU count divides FLOP time by its Amdahl
+// speedup; bytes touched stay unscaled (memory bandwidth is shared across
+// an instance's cores).
 func (d *Deployment) computeScaled(ctx *platform.Ctx, gr *groupRuntime, frac float64) {
-	ctx.ComputeOp(int64(float64(gr.flops)*frac), int64(float64(gr.opBytes)*frac))
+	ctx.ComputeOp(int64(float64(gr.flops)*frac/d.opts.speedup()), int64(float64(gr.opBytes)*frac))
 }
 
 func flopFrac(gr *groupRuntime, part int) float64 {
@@ -484,7 +499,7 @@ func buildGroupRuntime(units []*partition.Unit, gp partition.GroupPlan) (*groupR
 
 // DeployDefault deploys the Default baseline: the whole model in a single
 // function (§V-B baseline 1).
-func DeployDefault(p *platform.Platform, units []*partition.Unit, mode ExecMode) (*Deployment, error) {
+func DeployDefault(p *platform.Platform, units []*partition.Unit, mode ExecMode, opts ...DeployOption) (*Deployment, error) {
 	plan := &partition.Plan{
 		Model: "default-" + modelNameOf(units),
 		Groups: []partition.GroupPlan{{
@@ -493,7 +508,7 @@ func DeployDefault(p *platform.Platform, units []*partition.Unit, mode ExecMode)
 			OnMaster: true,
 		}},
 	}
-	return Deploy(p, units, plan, mode)
+	return Deploy(p, units, plan, mode, opts...)
 }
 
 // PredictedPlanOf exposes the deployment's plan (for reporting).

@@ -22,6 +22,25 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float32
+
+	// dims is inline backing for shape: every shape in this codebase has
+	// rank <= 4, so storing it in the struct keeps tensor construction at
+	// two heap allocations (struct + data), which matters on the kernel
+	// hot path where an output tensor is built per forward call.
+	dims [4]int
+}
+
+// newShaped returns a tensor with the given shape (copied, inline when rank
+// permits) wrapping data.
+func newShaped(shape []int, data []float32) *Tensor {
+	t := &Tensor{data: data}
+	if len(shape) <= len(t.dims) {
+		t.shape = t.dims[:len(shape)]
+		copy(t.shape, shape)
+	} else {
+		t.shape = cloneInts(shape)
+	}
+	return t
 }
 
 // New returns a zero-filled tensor with the given shape. All dimensions must
@@ -31,7 +50,7 @@ func New(shape ...int) *Tensor {
 	if err != nil {
 		panic(err) // programmer error: shapes are static in this codebase
 	}
-	return &Tensor{shape: cloneInts(shape), data: make([]float32, n)}
+	return newShaped(shape, make([]float32, n))
 }
 
 // FromData wraps the given data in a tensor of the given shape. The data
@@ -44,7 +63,7 @@ func FromData(data []float32, shape ...int) (*Tensor, error) {
 	if len(data) != n {
 		return nil, fmt.Errorf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n)
 	}
-	return &Tensor{shape: cloneInts(shape), data: data}, nil
+	return newShaped(shape, data), nil
 }
 
 // Full returns a tensor with every element set to v.
@@ -89,7 +108,7 @@ func (t *Tensor) Data() []float32 { return t.data }
 func (t *Tensor) Clone() *Tensor {
 	d := make([]float32, len(t.data))
 	copy(d, t.data)
-	return &Tensor{shape: cloneInts(t.shape), data: d}
+	return newShaped(t.shape, d)
 }
 
 // Reshape returns a tensor sharing t's data with a new shape of equal
@@ -102,7 +121,7 @@ func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
 	if n != len(t.data) {
 		return nil, fmt.Errorf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, n)
 	}
-	return &Tensor{shape: cloneInts(shape), data: t.data}, nil
+	return newShaped(shape, t.data), nil
 }
 
 // Offset returns the flat index of the given multi-dimensional index.

@@ -1,13 +1,15 @@
 # CI entry points. `make ci` is what a pre-merge check runs: vet, build,
-# full test suite, and the race detector on the concurrency-bearing
-# packages (the kernel execution engine and everything that drives it).
+# full test suite, the race detector on the concurrency-bearing packages
+# (the kernel execution engine, the simulation kernel, the platform and the
+# serving runtime), and the seeded chaos tests that guard the resilience
+# layer.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime
+RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet
 
-.PHONY: ci vet build test race bench-kernels
+.PHONY: ci vet build test race chaos bench-kernels bench-chaos
 
-ci: vet build test race
+ci: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +23,17 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Chaos tests run with their fixed seed (42, baked into the tests) so a
+# resilience regression fails deterministically, never flakily.
+chaos:
+	$(GO) test ./internal/bench -run TestChaos -count=1
+	$(GO) test ./internal/runtime -run 'TestResilient|TestNaiveFails' -count=1
+
 # Regenerate the checked-in kernel benchmark baseline on this machine.
 bench-kernels:
 	$(GO) run ./cmd/gillis-bench -figs kernels -kernels-json BENCH_kernels.json
+
+# Regenerate the checked-in chaos baseline (fully seeded: same output on
+# any machine).
+bench-chaos:
+	$(GO) run ./cmd/gillis-bench -figs chaos -seed 42 -chaos-json BENCH_chaos.json

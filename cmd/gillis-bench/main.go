@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	gillis-bench [-figs 1,7,9,10,11,12,13,14,15,kernels] [-seed N]
+//	gillis-bench [-figs 1,7,9,10,11,12,13,14,15,kernels,chaos] [-seed N]
 //	             [-queries N] [-quick] [-out FILE] [-parallelism N]
+//	             [-faults R1,R2,...] [-chaos-json FILE]
 //	             [-kernels-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -14,6 +15,7 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +43,7 @@ func figures() []figure {
 		{"burst", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Burst(c) }},
 		{"load", func(c *bench.Context) (interface{ Table() string }, error) { return bench.DynamicLoad(c) }},
 		{"kernels", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Kernels(c) }},
+		{"chaos", func(c *bench.Context) (interface{ Table() string }, error) { return bench.Chaos(c) }},
 	}
 }
 
@@ -53,13 +56,15 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gillis-bench", flag.ContinueOnError)
-	figsFlag := fs.String("figs", "1,7,9,10,11,12,13,14,15,ablations,burst,load,kernels", "comma-separated figures to run")
+	figsFlag := fs.String("figs", "1,7,9,10,11,12,13,14,15,ablations,burst,load,kernels,chaos", "comma-separated figures to run")
 	seed := fs.Int64("seed", 42, "random seed for all stochastic components")
 	queries := fs.Int("queries", 100, "queries per latency measurement")
 	quick := fs.Bool("quick", false, "trim sweeps and training budgets")
 	out := fs.String("out", "", "also write tables to this file")
 	parallelism := fs.Int("parallelism", 0, "kernel parallelism cap for Real-mode math (0 = GOMAXPROCS)")
 	kernelsJSON := fs.String("kernels-json", "", "write the kernels figure as JSON to this file (BENCH_kernels.json baseline)")
+	faultsFlag := fs.String("faults", "", "comma-separated fault rates for the chaos figure (default 0.02,0.05,0.10)")
+	chaosJSON := fs.String("chaos-json", "", "write the chaos figure as JSON to this file (BENCH_chaos.json baseline)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +100,13 @@ func run(args []string, stdout io.Writer) error {
 	ctx := bench.NewContext(*seed)
 	ctx.Queries = *queries
 	ctx.Quick = *quick
+	if *faultsFlag != "" {
+		rates, err := parseRates(*faultsFlag)
+		if err != nil {
+			return err
+		}
+		ctx.FaultRates = rates
+	}
 
 	want := make(map[string]bool)
 	for _, f := range strings.Split(*figsFlag, ",") {
@@ -136,9 +148,42 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
+		if fig.id == "chaos" && *chaosJSON != "" {
+			report, ok := res.(*bench.ChaosReport)
+			if !ok {
+				return fmt.Errorf("chaos figure returned %T", res)
+			}
+			js, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*chaosJSON, js, 0o644); err != nil {
+				return err
+			}
+		}
 	}
 	if file != nil {
 		return file.Close()
 	}
 	return nil
+}
+
+// parseRates parses the -faults comma-separated probability list.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r < 0 || r > 1 {
+			return nil, fmt.Errorf("invalid fault rate %q (want a probability in [0,1])", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("empty -faults list")
+	}
+	return rates, nil
 }

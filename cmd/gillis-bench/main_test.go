@@ -46,7 +46,7 @@ func TestFiguresListComplete(t *testing.T) {
 	for _, f := range figures() {
 		ids[f.id] = true
 	}
-	for _, want := range []string{"1", "7", "9", "10", "11", "12", "13", "14", "15", "ablations", "burst", "kernels"} {
+	for _, want := range []string{"1", "7", "9", "10", "11", "12", "13", "14", "15", "ablations", "burst", "load", "kernels", "chaos"} {
 		if !ids[want] {
 			t.Errorf("figure %s missing from registry", want)
 		}
@@ -86,6 +86,38 @@ func TestRunWritesProfiles(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunChaosWritesJSONBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-figs", "chaos", "-quick", "-faults", "0.05", "-chaos-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Chaos sweep") {
+		t.Fatalf("stdout missing chaos table:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"goodput\"", "\"fault_rate\": 0.05", "\"resilient\""} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("baseline JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rates, err := parseRates("0.02, 0.1")
+	if err != nil || len(rates) != 2 || rates[0] != 0.02 || rates[1] != 0.1 {
+		t.Fatalf("parseRates: %v %v", rates, err)
+	}
+	for _, bad := range []string{"", "x", "-0.1", "1.5"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) should fail", bad)
 		}
 	}
 }

@@ -26,6 +26,9 @@ type Context struct {
 	Queries int
 	// Quick trims sweeps and training budgets for use under testing.B.
 	Quick bool
+	// FaultRates overrides the chaos experiment's fault-rate sweep
+	// (gillis-bench -faults); empty means the default sweep.
+	FaultRates []float64
 
 	mu      sync.Mutex
 	perfmdl map[string]*perf.Model

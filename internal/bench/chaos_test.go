@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChaosQuick runs the trimmed sweep with the fixed CI seed and checks
+// the properties the chaos baseline exists to protect: resilient serving
+// must beat naive goodput under faults, and the whole report must be a
+// deterministic function of the seed.
+func TestChaosQuick(t *testing.T) {
+	run := func() *ChaosReport {
+		ctx := NewContext(42)
+		ctx.Quick = true
+		r, err := Chaos(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := run()
+	if len(r.Rows) == 0 {
+		t.Fatal("empty chaos report")
+	}
+	for _, row := range r.Rows {
+		if row.Resilient.Goodput < row.Naive.Goodput {
+			t.Errorf("%s@%.2f: resilient goodput %.3f below naive %.3f",
+				row.Platform, row.FaultRate, row.Resilient.Goodput, row.Naive.Goodput)
+		}
+		if row.Resilient.Goodput < 0.95 {
+			t.Errorf("%s@%.2f: resilient goodput %.3f; retries should absorb a 5%% fault rate",
+				row.Platform, row.FaultRate, row.Resilient.Goodput)
+		}
+		if row.Naive.Goodput >= 1 {
+			t.Errorf("%s@%.2f: naive served everything; faults not injected?", row.Platform, row.FaultRate)
+		}
+	}
+
+	j1, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := run().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatal("chaos report not deterministic for a fixed seed")
+	}
+	if !json.Valid(j1) {
+		t.Fatal("invalid JSON")
+	}
+	if !strings.Contains(r.Table(), "Chaos sweep") {
+		t.Fatal("table header missing")
+	}
+}
+
+// TestChaosFaultRateOverride exercises the -faults plumbing.
+func TestChaosFaultRateOverride(t *testing.T) {
+	ctx := NewContext(42)
+	ctx.Quick = true
+	ctx.FaultRates = []float64{0.08}
+	r, err := Chaos(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].FaultRate != 0.08 {
+		t.Fatalf("fault-rate override ignored: %+v", r.Rows)
+	}
+}

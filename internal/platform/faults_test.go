@@ -1,0 +1,351 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"gillis/internal/simnet"
+)
+
+func TestInjectedFailureBillsPartialWork(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{FailureProb: 1}
+	runSim(t, cfg, 1, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(2e9) // 100 ms
+			return Payload{Bytes: 1000}, nil
+		})
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if err == nil {
+			t.Fatal("expected injected failure")
+		}
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultFailure {
+			t.Fatalf("want InvokeError{FaultFailure}, got %v", err)
+		}
+		// The crashed invocation's work is done and billed — both on the
+		// result returned alongside the error and inside the error itself.
+		if res.BilledMs < 100 || ie.Res.BilledMs != res.BilledMs {
+			t.Errorf("partial billing lost: res=%+v errRes=%+v", res, ie.Res)
+		}
+		if BilledMsOf(err) != res.TotalBilledMs {
+			t.Errorf("BilledMsOf %d, want %d", BilledMsOf(err), res.TotalBilledMs)
+		}
+		if p.Faulted() != 1 {
+			t.Errorf("faulted %d, want 1", p.Faulted())
+		}
+	})
+}
+
+func TestHandlerErrorCarriesBilling(t *testing.T) {
+	// Satellite fix: a handler error must not swallow the populated
+	// InvokeResult — the platform billed the failed run.
+	cfg := fastCfg()
+	boom := errors.New("boom")
+	runSim(t, cfg, 2, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(1e9) // 50 ms
+			return Payload{}, boom
+		})
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if !errors.Is(err, boom) {
+			t.Fatalf("handler error lost: %v", err)
+		}
+		if res.HandlerMs < 49 || res.BilledMs < 50 || res.TotalBilledMs != res.BilledMs {
+			t.Errorf("billing not populated on handler error: %+v", res)
+		}
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultFailure || ie.Res.BilledMs != res.BilledMs {
+			t.Errorf("typed error wrong: %#v", err)
+		}
+	})
+}
+
+func TestFailedNestedInvocationChargedToCallerOnce(t *testing.T) {
+	cfg := fastCfg()
+	runSim(t, cfg, 3, func(p *Platform, proc *simnet.Proc) {
+		boom := errors.New("boom")
+		_ = p.Register("worker", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(1e9) // 50 ms
+			return Payload{}, boom
+		})
+		var workerBilled int64
+		_ = p.Register("master", func(ctx *Ctx, in Payload) (Payload, error) {
+			res, err := ctx.Invoke("worker", Payload{Bytes: 100})
+			if err == nil {
+				return Payload{}, errors.New("worker should fail")
+			}
+			workerBilled = BilledMsOf(err)
+			if res.TotalBilledMs != workerBilled || res.BilledMs < 50 {
+				t.Errorf("failed Invoke must surface partial billing: %+v vs %d", res, workerBilled)
+			}
+			return Payload{}, nil
+		})
+		res, err := p.InvokeFrom(proc, "master", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workerBilled < 50 {
+			t.Fatalf("worker billing not in error: %d", workerBilled)
+		}
+		// Master's total must include the failed worker exactly once.
+		want := res.BilledMs + workerBilled
+		if res.TotalBilledMs != want {
+			t.Errorf("master total %d, want master %d + worker %d", res.TotalBilledMs, res.BilledMs, workerBilled)
+		}
+	})
+}
+
+func TestExecutionTimeoutKillsAndBillsElapsed(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{TimeoutMs: 100}
+	runSim(t, cfg, 4, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("slow", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(10e9) // 500 ms >> the 100 ms limit
+			return Payload{}, nil
+		})
+		before := proc.Now()
+		res, err := p.InvokeFrom(proc, "slow", Payload{})
+		elapsedMs := float64(proc.Now()-before) / 1e6
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultTimeout {
+			t.Fatalf("want FaultTimeout, got %v", err)
+		}
+		if res.HandlerMs != 100 || res.BilledMs != 100 {
+			t.Errorf("killed invocation bills the elapsed limit: %+v", res)
+		}
+		// The caller learns about the kill at the timeout, not after the
+		// handler's full 500 ms.
+		if elapsedMs > 400 {
+			t.Errorf("caller waited %v ms; the kill must cut the wait", elapsedMs)
+		}
+	})
+}
+
+func TestTimeoutDestroysInstance(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{TimeoutMs: 50}
+	runSim(t, cfg, 5, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			if d, ok := in.Data.(int64); ok {
+				ctx.Compute(d)
+			}
+			return Payload{}, nil
+		})
+		if err := p.Prewarm("f", 1); err != nil {
+			t.Fatal(err)
+		}
+		// First invocation times out on the (single) warm instance.
+		r1, err := p.InvokeFrom(proc, "f", Payload{Data: int64(10e9)})
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultTimeout {
+			t.Fatalf("want timeout, got %v", err)
+		}
+		if r1.ColdStart {
+			t.Error("first invocation should have used the warm instance")
+		}
+		// The killed instance must not return to the pool: next is cold.
+		r2, err := p.InvokeFrom(proc, "f", Payload{Data: int64(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r2.ColdStart {
+			t.Error("killed instance leaked back into the warm pool")
+		}
+	})
+}
+
+func TestFastHandlerSurvivesTimeout(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{TimeoutMs: 1000}
+	runSim(t, cfg, 6, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(1e9) // 50 ms < limit
+			return Payload{Data: "ok"}, nil
+		})
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resp.Data != "ok" || res.HandlerMs < 49 {
+			t.Errorf("fast handler mangled under a timeout limit: %+v", res)
+		}
+	})
+}
+
+func TestStragglerSlowdown(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{StragglerProb: 1, StragglerFactor: 3}
+	runSim(t, cfg, 7, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(2e9) // 100 ms healthy
+			return Payload{}, nil
+		})
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HandlerMs < 295 || res.HandlerMs > 305 {
+			t.Errorf("straggler handler %v ms, want ~300", res.HandlerMs)
+		}
+	})
+}
+
+func TestEvictionFailsFastWithoutBilling(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{EvictionProb: 1}
+	runSim(t, cfg, 8, func(p *Platform, proc *simnet.Proc) {
+		ran := false
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ran = true
+			return Payload{}, nil
+		})
+		if err := p.Prewarm("f", 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultEvicted {
+			t.Fatalf("want FaultEvicted, got %v", err)
+		}
+		if ran {
+			t.Error("evicted invocation must not run the handler")
+		}
+		if res.HandlerMs != 0 || res.BilledMs != 0 {
+			t.Errorf("eviction bills nothing: %+v", res)
+		}
+		if res.ColdStart {
+			t.Error("first eviction should have claimed the prewarmed instance")
+		}
+		// The claimed warm instance was destroyed: next acquisition is cold.
+		res2, err := p.InvokeFrom(proc, "f", Payload{})
+		if !errors.As(err, &ie) || ie.Kind != FaultEvicted {
+			t.Fatalf("want FaultEvicted again, got %v", err)
+		}
+		if !res2.ColdStart {
+			t.Error("evicted warm instance leaked back into the pool")
+		}
+	})
+}
+
+func TestFaultScheduleReproducibleFromSeed(t *testing.T) {
+	type outcome struct {
+		kind FaultKind // 0 = success
+		ms   float64
+	}
+	run := func(seed int64) []outcome {
+		cfg := AWSLambda()
+		cfg.Faults = FaultProfile{FailureProb: 0.2, StragglerProb: 0.2, StragglerFactor: 4, EvictionProb: 0.1}
+		var out []outcome
+		runSim(t, cfg, seed, func(p *Platform, proc *simnet.Proc) {
+			_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+				ctx.Compute(5e8)
+				return Payload{}, nil
+			})
+			for i := 0; i < 100; i++ {
+				res, err := p.InvokeFrom(proc, "f", Payload{})
+				o := outcome{ms: res.HandlerMs}
+				var ie *InvokeError
+				if errors.As(err, &ie) {
+					o.kind = ie.Kind
+				}
+				out = append(out, o)
+			}
+		})
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at invocation %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := 0
+	for i := range a {
+		if a[i].kind == c[i].kind {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical fault schedule")
+	}
+	// Faults must actually fire at these rates.
+	faults := 0
+	for _, o := range a {
+		if o.kind != 0 {
+			faults++
+		}
+	}
+	if faults < 10 {
+		t.Fatalf("only %d/100 faults at ~28%% combined rate", faults)
+	}
+}
+
+func TestFaultsDoNotPerturbNoiseStream(t *testing.T) {
+	// Enabling eviction-free fault draws must leave the EMG overhead and
+	// compute-noise stream untouched: successful invocations in a faulty
+	// run match the fault-free run exactly until the first actual fault.
+	run := func(faults FaultProfile) []float64 {
+		cfg := AWSLambda()
+		cfg.Faults = faults
+		var out []float64
+		runSim(t, cfg, 42, func(p *Platform, proc *simnet.Proc) {
+			_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+				ctx.Compute(5e8)
+				return Payload{}, nil
+			})
+			for i := 0; i < 20; i++ {
+				res, err := p.InvokeFrom(proc, "f", Payload{})
+				if err != nil {
+					break
+				}
+				out = append(out, res.HandlerMs+res.OverheadMs)
+			}
+		})
+		return out
+	}
+	clean := run(FaultProfile{})
+	// Probabilities low enough that (deterministically, for this seed) no
+	// fault fires in 20 invocations — draws still happen on every one.
+	faulty := run(FaultProfile{FailureProb: 1e-9, StragglerProb: 1e-9, EvictionProb: 1e-9})
+	if len(faulty) != len(clean) {
+		t.Fatalf("a fault fired unexpectedly: %d vs %d invocations", len(faulty), len(clean))
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("noise stream perturbed at %d: %v vs %v", i, clean[i], faulty[i])
+		}
+	}
+}
+
+func TestKilledInstanceInvokeFailsFast(t *testing.T) {
+	// A zombie (killed) handler's nested invocations fail immediately.
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{TimeoutMs: 50}
+	runSim(t, cfg, 9, func(p *Platform, proc *simnet.Proc) {
+		nested := 0
+		_ = p.Register("leaf", func(ctx *Ctx, in Payload) (Payload, error) {
+			nested++
+			return Payload{}, nil
+		})
+		_ = p.Register("zombie", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(10e9) // 500 ms: killed at 50
+			if _, err := ctx.Invoke("leaf", Payload{}); err != nil {
+				return Payload{}, err
+			}
+			return Payload{}, nil
+		})
+		_, err := p.InvokeFrom(proc, "zombie", Payload{})
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultTimeout {
+			t.Fatalf("want timeout, got %v", err)
+		}
+		if nested != 0 {
+			t.Error("killed instance must not launch nested invocations")
+		}
+		if !ie.Res.ColdStart {
+			t.Error("expected cold start on first invocation")
+		}
+	})
+}

@@ -14,10 +14,12 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gillis/internal/simnet"
@@ -59,6 +61,114 @@ type Config struct {
 	StorageLatencyMs float64
 	// ComputeNoise is the lognormal sigma applied to compute durations.
 	ComputeNoise float64
+	// Faults injects platform failures; the zero value models a perfect
+	// cloud (the pre-fault-injection behaviour).
+	Faults FaultProfile
+}
+
+// FaultProfile describes the imperfections of a real serverless platform:
+// invocation failures, long-tail stragglers, execution-time kills, and
+// instance eviction. All faults are drawn from a dedicated RNG seeded from
+// the platform seed, in a fixed per-invocation order, so a fault schedule
+// replays exactly for a given seed — and enabling faults does not perturb
+// the platform's compute-noise or invocation-overhead streams.
+type FaultProfile struct {
+	// FailureProb is the per-invocation probability that the function
+	// crashes during execution. The handler's work is done and billed, but
+	// the response is lost — the worst case for a fork-join caller.
+	FailureProb float64
+	// StragglerProb is the per-invocation probability that the instance
+	// runs degraded, with its compute durations multiplied by
+	// StragglerFactor.
+	StragglerProb float64
+	// StragglerFactor is the compute slowdown of a straggler instance
+	// (DefaultStragglerFactor when a straggler is drawn and this is unset).
+	StragglerFactor float64
+	// TimeoutMs is the platform's function execution time limit: a handler
+	// still running after TimeoutMs of virtual time is killed, the caller
+	// receives a FaultTimeout error, and the platform bills the elapsed
+	// TimeoutMs. Zero means no limit.
+	TimeoutMs float64
+	// EvictionProb is the per-invocation probability that the platform
+	// reclaims the hosting instance between dispatch and execution: the
+	// handler never runs, nothing is billed, and a claimed warm instance
+	// is destroyed rather than returned to the pool.
+	EvictionProb float64
+}
+
+// DefaultStragglerFactor is the compute slowdown applied to stragglers when
+// a FaultProfile enables them without choosing a factor.
+const DefaultStragglerFactor = 4.0
+
+// active reports whether any fault class is enabled.
+func (f FaultProfile) active() bool {
+	return f.FailureProb > 0 || f.StragglerProb > 0 || f.TimeoutMs > 0 || f.EvictionProb > 0
+}
+
+// FaultKind classifies an injected invocation fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultFailure: the function crashed (injected, or a handler error).
+	FaultFailure FaultKind = iota + 1
+	// FaultTimeout: the platform killed the function at its execution
+	// time limit.
+	FaultTimeout
+	// FaultEvicted: the platform reclaimed the hosting instance before
+	// the handler could run.
+	FaultEvicted
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultFailure:
+		return "failure"
+	case FaultTimeout:
+		return "timeout"
+	case FaultEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// InvokeError is the typed error of a failed invocation. The partial
+// billing of the failed attempt is attached in Res (Resp is empty): the
+// platform bills crashed invocations for their full handler duration and
+// timed-out ones for the elapsed TimeoutMs, exactly as the real clouds do.
+type InvokeError struct {
+	Kind FaultKind
+	Fn   string
+	Res  InvokeResult
+	// Err is the underlying handler error for FaultFailure, nil for
+	// injected faults.
+	Err error
+}
+
+func (e *InvokeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("platform: function %q: %v", e.Fn, e.Err)
+	}
+	switch e.Kind {
+	case FaultTimeout:
+		return fmt.Sprintf("platform: function %q: killed at the %0.f ms execution timeout", e.Fn, e.Res.HandlerMs)
+	case FaultEvicted:
+		return fmt.Sprintf("platform: function %q: instance evicted before execution", e.Fn)
+	}
+	return fmt.Sprintf("platform: function %q: injected invocation failure", e.Fn)
+}
+
+func (e *InvokeError) Unwrap() error { return e.Err }
+
+// BilledMsOf extracts the billed duration attached to a failed invocation's
+// error (0 when err carries no billing). Callers use it to account for the
+// cost of failed, retried, and abandoned attempts.
+func BilledMsOf(err error) int64 {
+	var ie *InvokeError
+	if errors.As(err, &ie) {
+		return ie.Res.TotalBilledMs
+	}
+	return 0
 }
 
 // AWSLambda returns the AWS Lambda profile used in the paper's experiments
@@ -177,11 +287,14 @@ type Platform struct {
 	cfg Config
 	env *simnet.Env
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	fns     map[string]*functionDef
-	storage map[string]Object
-	invoked int64
+	mu       sync.Mutex
+	rng      *rand.Rand
+	faultRng *rand.Rand // dedicated stream: faults don't perturb noise/overhead draws
+	fns      map[string]*functionDef
+	storage  map[string]Object
+	invoked  int64
+	faulted  int64
+	billedMs int64
 }
 
 // Object is an entry in the platform's object storage.
@@ -193,13 +306,18 @@ type Object struct {
 // New creates a platform simulation bound to env.
 func New(env *simnet.Env, cfg Config, seed int64) *Platform {
 	return &Platform{
-		cfg:     cfg,
-		env:     env,
-		rng:     rand.New(rand.NewSource(seed)),
-		fns:     make(map[string]*functionDef),
-		storage: make(map[string]Object),
+		cfg:      cfg,
+		env:      env,
+		rng:      rand.New(rand.NewSource(seed)),
+		faultRng: rand.New(rand.NewSource(seed ^ faultSeedSalt)),
+		fns:      make(map[string]*functionDef),
+		storage:  make(map[string]Object),
 	}
 }
+
+// faultSeedSalt decorrelates the fault stream from the noise stream while
+// keeping both a pure function of the platform seed.
+const faultSeedSalt = 0x5e3779b97f4a7c15
 
 // Config returns the platform profile.
 func (p *Platform) Config() Config { return p.cfg }
@@ -232,11 +350,30 @@ func (p *Platform) Prewarm(name string, n int) error {
 	return nil
 }
 
-// Invocations returns the total number of completed invocations.
+// Invocations returns the total number of completed invocations (including
+// failed, timed-out, and evicted ones — the platform saw them all).
 func (p *Platform) Invocations() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.invoked
+}
+
+// Faulted returns the number of invocations that suffered an injected
+// fault (failure, timeout, or eviction).
+func (p *Platform) Faulted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faulted
+}
+
+// BilledMsTotal returns the billed milliseconds of every settled
+// invocation, successful or not. Unlike per-query roll-ups, it also counts
+// attempts whose caller stopped waiting (abandoned stragglers), so it is
+// the authoritative cost figure for chaos experiments.
+func (p *Platform) BilledMsTotal() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.billedMs
 }
 
 // Ctx is the execution context of one running function instance.
@@ -247,8 +384,16 @@ type Ctx struct {
 	uplink   *simnet.Resource
 	downlink *simnet.Resource
 	start    time.Duration
-	children int64 // billed ms accumulated from nested invocations
+	slow     float64      // straggler compute multiplier (1 = healthy)
+	children atomic.Int64 // billed ms accumulated from nested invocations
+	killed   atomic.Bool  // set when the platform kills the instance
 }
+
+// Killed reports whether the platform has killed this instance (execution
+// timeout). A killed handler keeps executing as a zombie in the simulation,
+// but its compute is skipped and its nested invocations fail fast, so it
+// drains quickly; its response is discarded either way.
+func (c *Ctx) Killed() bool { return c.killed.Load() }
 
 // Platform returns the hosting platform.
 func (c *Ctx) Platform() *Platform { return c.platform }
@@ -272,6 +417,9 @@ func (c *Ctx) Compute(flops int64) { c.ComputeOp(flops, 0) }
 // plus the fixed operator dispatch overhead, with multiplicative lognormal
 // noise.
 func (c *Ctx) ComputeOp(flops, bytesTouched int64) {
+	if c.killed.Load() {
+		return // zombie after a platform kill: drain without consuming time
+	}
 	cfg := c.platform.cfg
 	sec := float64(flops) / (cfg.GFLOPS * 1e9)
 	if cfg.MemGBps > 0 {
@@ -280,6 +428,9 @@ func (c *Ctx) ComputeOp(flops, bytesTouched int64) {
 	sec += cfg.OpOverheadMs / 1000
 	if sec <= 0 {
 		return
+	}
+	if c.slow > 1 {
+		sec *= c.slow
 	}
 	noise := 1.0
 	if s := cfg.ComputeNoise; s > 0 {
@@ -291,8 +442,23 @@ func (c *Ctx) ComputeOp(flops, bytesTouched int64) {
 }
 
 // Invoke synchronously invokes another function and waits for its result.
+// On a failed invocation the returned InvokeResult is still populated with
+// the billing the platform charged for the failed run.
 func (c *Ctx) Invoke(name string, payload Payload) (InvokeResult, error) {
-	return c.InvokeAsync(name, payload).Wait(c.proc)
+	return settled(c.InvokeAsync(name, payload).Wait(c.proc))
+}
+
+// settled recovers the billed InvokeResult carried inside a typed
+// InvokeError, so synchronous callers see partial billing alongside the
+// error instead of a zero result.
+func settled(res InvokeResult, err error) (InvokeResult, error) {
+	if err != nil {
+		var ie *InvokeError
+		if errors.As(err, &ie) {
+			return ie.Res, err
+		}
+	}
+	return res, err
 }
 
 // InvokeAsync starts an invocation and returns a promise for its result.
@@ -300,6 +466,11 @@ func (c *Ctx) Invoke(name string, payload Payload) (InvokeResult, error) {
 // on its downlink, reproducing the synchronization overhead that makes very
 // wide fan-outs counterproductive on Lambda (Fig. 7).
 func (c *Ctx) InvokeAsync(name string, payload Payload) *simnet.Promise[InvokeResult] {
+	if c.killed.Load() {
+		pr := simnet.NewPromise[InvokeResult](c.platform.env)
+		pr.Fail(fmt.Errorf("platform: instance of %q was killed", c.fnName))
+		return pr
+	}
 	return c.platform.invokeAsync(c, name, payload)
 }
 
@@ -336,7 +507,7 @@ func (p *Platform) Seed(key string, obj Object) {
 // client): invocation overhead and payload transfer still apply, but no
 // uplink serialization, since the client is not a constrained function.
 func (p *Platform) InvokeFrom(proc *simnet.Proc, name string, payload Payload) (InvokeResult, error) {
-	return p.invokeAsync(nil, name, payload).Wait(proc)
+	return settled(p.invokeAsync(nil, name, payload).Wait(proc))
 }
 
 func (p *Platform) invokeAsync(from *Ctx, name string, payload Payload) *simnet.Promise[InvokeResult] {
@@ -383,6 +554,29 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	proc.Sleep(msToDur(overhead))
 	res.OverheadMs = overhead
 
+	// Fault draws: always in the same per-invocation order, from the
+	// dedicated fault RNG, so the schedule is a pure function of the
+	// platform seed and the (deterministic) invocation order.
+	faults := p.cfg.Faults
+	var evicted, crash bool
+	slow := 1.0
+	if faults.active() {
+		p.mu.Lock()
+		if faults.EvictionProb > 0 && p.faultRng.Float64() < faults.EvictionProb {
+			evicted = true
+		}
+		if faults.FailureProb > 0 && p.faultRng.Float64() < faults.FailureProb {
+			crash = true
+		}
+		if faults.StragglerProb > 0 && p.faultRng.Float64() < faults.StragglerProb {
+			slow = faults.StragglerFactor
+			if slow <= 1 {
+				slow = DefaultStragglerFactor
+			}
+		}
+		p.mu.Unlock()
+	}
+
 	// Instance acquisition: warm pool or cold start.
 	p.mu.Lock()
 	if f.warm > 0 {
@@ -391,6 +585,18 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 		res.ColdStart = true
 	}
 	p.mu.Unlock()
+
+	if evicted {
+		// The platform reclaimed the instance between dispatch and
+		// execution: the handler never runs, nothing is billed, and the
+		// claimed warm instance (if any) is destroyed.
+		p.mu.Lock()
+		p.invoked++
+		p.faulted++
+		p.mu.Unlock()
+		return res, &InvokeError{Kind: FaultEvicted, Fn: name, Res: res}
+	}
+
 	if res.ColdStart {
 		proc.Sleep(msToDur(p.cfg.ColdStartMs))
 	}
@@ -401,26 +607,47 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 		fnName:   name,
 		uplink:   simnet.NewResource(p.env),
 		downlink: simnet.NewResource(p.env),
-		start:    proc.Now(),
+		slow:     slow,
 	}
-	resp, herr := f.handler(ctx, payload)
+	ctx.start = proc.Now()
+	resp, herr, timedOut := p.runHandler(proc, ctx, f, payload)
 
 	res.HandlerMs = durToMs(proc.Now() - ctx.start)
+	if timedOut {
+		res.HandlerMs = faults.TimeoutMs // killed exactly at the limit
+	}
 	res.BilledMs = billed(res.HandlerMs, p.cfg.BillingGranMs)
-	res.TotalBilledMs = res.BilledMs + ctx.children
+	res.TotalBilledMs = res.BilledMs + ctx.children.Load()
 
-	// Instance returns to the warm pool; count the invocation even if the
-	// handler failed (the platform still bills it).
+	// Settle the invocation exactly once: the instance returns to the warm
+	// pool unless the platform killed it, and the invocation counts (and
+	// bills) even if the handler failed.
 	p.mu.Lock()
-	f.warm++
+	if !timedOut {
+		f.warm++
+	}
 	p.invoked++
+	p.billedMs += res.BilledMs
+	if timedOut || crash {
+		p.faulted++
+	}
 	p.mu.Unlock()
 
+	// Charge the caller's nested-billing accumulator exactly once, on
+	// every settled path — failed invocations are billed too.
 	if from != nil {
-		from.children += res.TotalBilledMs
+		from.children.Add(res.TotalBilledMs)
 	}
-	if herr != nil {
-		return InvokeResult{}, fmt.Errorf("platform: function %q: %w", name, herr)
+
+	switch {
+	case timedOut:
+		return res, &InvokeError{Kind: FaultTimeout, Fn: name, Res: res}
+	case herr != nil:
+		return res, &InvokeError{Kind: FaultFailure, Fn: name, Res: res, Err: herr}
+	case crash:
+		// The handler finished its (billed) work but crashed before the
+		// response left the instance.
+		return res, &InvokeError{Kind: FaultFailure, Fn: name, Res: res}
 	}
 
 	// Response download: serialized on the caller's downlink.
@@ -436,6 +663,36 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	res.DownloadMs = durToMs(proc.Now() - before)
 	res.Resp = resp
 	return res, nil
+}
+
+// runHandler executes the function body, under the platform's execution
+// time limit when one is configured. A handler that outlives the limit is
+// killed: the invocation returns timedOut=true at exactly TimeoutMs, while
+// the handler keeps draining as a zombie (its compute is skipped and its
+// nested invocations fail fast once the kill flag is set).
+func (p *Platform) runHandler(proc *simnet.Proc, ctx *Ctx, f *functionDef, payload Payload) (Payload, error, bool) {
+	limit := p.cfg.Faults.TimeoutMs
+	if limit <= 0 {
+		ctx.proc = proc
+		resp, err := f.handler(ctx, payload)
+		return resp, err, false
+	}
+	type handlerOut struct {
+		resp Payload
+		err  error
+	}
+	done := simnet.NewPromise[handlerOut](p.env)
+	p.env.Go("exec:"+ctx.fnName, func(hp *simnet.Proc) {
+		ctx.proc = hp
+		resp, err := f.handler(ctx, payload)
+		done.Resolve(handlerOut{resp, err})
+	})
+	out, werr := done.WaitTimeout(proc, msToDur(limit))
+	if werr != nil { // deadline elapsed: the platform kills the instance
+		ctx.killed.Store(true)
+		return Payload{}, nil, true
+	}
+	return out.resp, out.err, false
 }
 
 // billed rounds ms up to the next multiple of gran.

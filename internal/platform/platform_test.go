@@ -357,3 +357,95 @@ func TestInvocationNameInErrors(t *testing.T) {
 		}
 	})
 }
+
+func TestZeroMsHandlerBillsNothing(t *testing.T) {
+	// A handler that returns without consuming any virtual time sits exactly
+	// on the 0-ms boundary: billed(0, gran) must be 0, not one granule.
+	runSim(t, fastCfg(), 12, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("noop", func(ctx *Ctx, in Payload) (Payload, error) {
+			return Payload{}, nil
+		})
+		res, err := p.InvokeFrom(proc, "noop", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HandlerMs != 0 || res.BilledMs != 0 || res.TotalBilledMs != 0 {
+			t.Errorf("0-ms handler billed: %+v", res)
+		}
+		if p.BilledMsTotal() != 0 {
+			t.Errorf("platform aggregate %d, want 0", p.BilledMsTotal())
+		}
+	})
+}
+
+func TestGCFHundredMsRounding(t *testing.T) {
+	// GCF bills in 100 ms granules: a 150 ms handler is charged 200 ms.
+	cfg := GoogleCloudFunctions()
+	cfg.ComputeNoise = 0
+	cfg.OpOverheadMs = 0
+	runSim(t, cfg, 13, func(p *Platform, proc *simnet.Proc) {
+		flops := int64(0.150 * cfg.GFLOPS * 1e9)
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(flops)
+			return Payload{}, nil
+		})
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HandlerMs < 149 || res.HandlerMs > 151 {
+			t.Fatalf("handler %v ms, want ~150", res.HandlerMs)
+		}
+		if res.BilledMs != 200 {
+			t.Errorf("billed %d ms, want 200 (100 ms granularity)", res.BilledMs)
+		}
+	})
+}
+
+func TestWarmPoolConcurrentAccounting(t *testing.T) {
+	// Five concurrent invocations against a pool of two prewarmed instances:
+	// exactly three must cold-start, and after they all settle the pool holds
+	// five warm instances, so a second concurrent wave is fully warm. Run
+	// under -race this also exercises the pool counters across goroutines.
+	runSim(t, fastCfg(), 14, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(2e9)
+			return Payload{}, nil
+		})
+		if err := p.Prewarm("f", 2); err != nil {
+			t.Fatal(err)
+		}
+		wave := func() (cold int, billed int64) {
+			const n = 5
+			prs := make([]*simnet.Promise[InvokeResult], n)
+			for i := range prs {
+				prs[i] = p.invokeAsync(nil, "f", Payload{})
+			}
+			for _, pr := range prs {
+				res, err := pr.Wait(proc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.ColdStart {
+					cold++
+				}
+				billed += res.BilledMs
+			}
+			return cold, billed
+		}
+		cold1, b1 := wave()
+		if cold1 != 3 {
+			t.Errorf("first wave: %d cold starts, want 3", cold1)
+		}
+		cold2, b2 := wave()
+		if cold2 != 0 {
+			t.Errorf("second wave: %d cold starts, want 0 (pool grew to 5)", cold2)
+		}
+		if got := p.BilledMsTotal(); got != b1+b2 {
+			t.Errorf("platform aggregate %d, want %d", got, b1+b2)
+		}
+		if p.Invocations() != 10 {
+			t.Errorf("invocations %d, want 10", p.Invocations())
+		}
+	})
+}

@@ -1,0 +1,307 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gillis/internal/partition"
+	"gillis/internal/platform"
+	"gillis/internal/simnet"
+	"gillis/internal/stats"
+	"gillis/internal/tensor"
+)
+
+// This file is the runtime's resilience layer: per-attempt deadlines,
+// bounded retries with exponential backoff, hedged (tail-tolerant) backup
+// requests, and a master-local fallback for DimNone groups. When no
+// resilience option is set, runGroup takes the original naive path and none
+// of this code runs, so naive deployments behave byte-identically to
+// earlier versions.
+
+// Resilience is per-query resilience telemetry.
+type Resilience struct {
+	// Retries counts retried invocation attempts (workers + the client's
+	// master invocation).
+	Retries int
+	// Hedges counts backup invocations launched; HedgesWon counts races the
+	// backup won.
+	Hedges    int
+	HedgesWon int
+	// FaultsSurvived counts faults the query absorbed without failing
+	// (successful retries, master invocation retries, and fallbacks).
+	FaultsSurvived int
+	// Fallbacks counts DimNone groups the master re-executed locally after
+	// their worker failed past the retry budget.
+	Fallbacks int
+	// ExtraBilledMs is the billed time attributable to resilience overhead:
+	// failed attempts, hedge losers, and abandoned (deadline-exceeded)
+	// invocations. It is a lower bound — work that settles after the query
+	// returns loses attribution (the platform's BilledMsTotal is
+	// authoritative for aggregate cost).
+	ExtraBilledMs int64
+}
+
+func (r *Resilience) add(o Resilience) {
+	r.Retries += o.Retries
+	r.Hedges += o.Hedges
+	r.HedgesWon += o.HedgesWon
+	r.FaultsSurvived += o.FaultsSurvived
+	r.Fallbacks += o.Fallbacks
+	r.ExtraBilledMs += o.ExtraBilledMs
+}
+
+// queryStats accumulates one query's Resilience across the caller processes
+// a resilient fork spawns.
+type queryStats struct {
+	mu sync.Mutex
+	r  Resilience
+}
+
+func (q *queryStats) retry()    { q.mu.Lock(); q.r.Retries++; q.mu.Unlock() }
+func (q *queryStats) hedged()   { q.mu.Lock(); q.r.Hedges++; q.mu.Unlock() }
+func (q *queryStats) wonHedge() { q.mu.Lock(); q.r.HedgesWon++; q.mu.Unlock() }
+func (q *queryStats) survive()  { q.mu.Lock(); q.r.FaultsSurvived++; q.mu.Unlock() }
+func (q *queryStats) fellBack() { q.mu.Lock(); q.r.Fallbacks++; q.mu.Unlock() }
+func (q *queryStats) addExtra(ms int64) {
+	if ms == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.r.ExtraBilledMs += ms
+	q.mu.Unlock()
+}
+func (q *queryStats) snapshot() Resilience { q.mu.Lock(); defer q.mu.Unlock(); return q.r }
+
+// ErrDeadline marks a worker attempt abandoned because it exceeded the
+// deployment's per-attempt deadline.
+var ErrDeadline = errors.New("runtime: worker attempt deadline exceeded")
+
+// errHedgeAbandoned fails a hedge race whose caller stopped waiting; it
+// routes late completions into ExtraBilledMs accounting.
+var errHedgeAbandoned = errors.New("runtime: hedge race abandoned at deadline")
+
+// minHedgeSamples is how many latency observations a group needs before
+// hedging activates; below it there is no meaningful percentile.
+const minHedgeSamples = 8
+
+// maxHedgeSamples bounds each group's latency window (oldest dropped).
+const maxHedgeSamples = 256
+
+// latencyHistory tracks per-group successful worker-call latencies; the
+// hedging option derives its trigger threshold from it.
+type latencyHistory struct {
+	mu      sync.Mutex
+	samples map[int][]float64
+}
+
+func newLatencyHistory() *latencyHistory {
+	return &latencyHistory{samples: make(map[int][]float64)}
+}
+
+func (h *latencyHistory) record(gi int, ms float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := append(h.samples[gi], ms)
+	if len(s) > maxHedgeSamples {
+		s = s[len(s)-maxHedgeSamples:]
+	}
+	h.samples[gi] = s
+}
+
+// threshold returns the pctl-th percentile of the group's observed
+// latencies, and whether enough samples exist for hedging to activate.
+func (h *latencyHistory) threshold(gi int, pctl float64) (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.samples[gi]
+	if len(s) < minHedgeSamples {
+		return 0, false
+	}
+	return stats.Percentile(s, pctl), true
+}
+
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// watchAbandoned attributes the eventual billing of an abandoned invocation
+// to the query's ExtraBilledMs once it settles.
+func (d *Deployment) watchAbandoned(pr *simnet.Promise[platform.InvokeResult], qs *queryStats) {
+	d.p.Env().Go("abandon-watch", func(wp *simnet.Proc) {
+		res, err := pr.Wait(wp)
+		if err != nil {
+			qs.addExtra(platform.BilledMsOf(err))
+			return
+		}
+		qs.addExtra(res.TotalBilledMs)
+	})
+}
+
+// callWorker invokes one worker partition with the deployment's full
+// resilience budget: per-attempt deadline, hedging, and bounded retries
+// with exponential backoff. proc is the process driving the call (the
+// master's own, or a spawned caller in a resilient fork-join round).
+func (d *Deployment) callWorker(proc *simnet.Proc, ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats) (platform.InvokeResult, error) {
+	name := d.workerName(gi, part)
+	attempts := d.opts.retries + 1
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			qs.retry()
+			proc.Sleep(msToDur(d.opts.backoff(a)))
+		}
+		start := proc.Now()
+		res, err := d.attemptWorker(proc, ctx, gi, name, req, qs)
+		if err == nil {
+			d.hist.record(gi, float64(proc.Now()-start)/1e6)
+			if a > 0 {
+				qs.survive()
+			}
+			return res, nil
+		}
+		qs.addExtra(platform.BilledMsOf(err))
+		lastErr = err
+	}
+	return platform.InvokeResult{}, lastErr
+}
+
+type hedgeOut struct {
+	res    platform.InvokeResult
+	backup bool
+}
+
+// attemptWorker makes one invocation attempt, hedging with a backup request
+// when the primary outlives the group's latency percentile.
+func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int, name string, req platform.Payload, qs *queryStats) (platform.InvokeResult, error) {
+	primary := ctx.InvokeAsync(name, req)
+	deadline := d.opts.deadlineMs
+
+	var thresh float64
+	hedging := false
+	if d.opts.hedgePctl > 0 {
+		thresh, hedging = d.hist.threshold(gi, d.opts.hedgePctl)
+	}
+
+	if !hedging {
+		if deadline <= 0 {
+			return primary.Wait(proc)
+		}
+		res, err := primary.WaitTimeout(proc, msToDur(deadline))
+		if errors.Is(err, simnet.ErrTimeout) {
+			d.watchAbandoned(primary, qs)
+			return platform.InvokeResult{}, fmt.Errorf("%s: %w", name, ErrDeadline)
+		}
+		return res, err
+	}
+
+	// Phase 1: give the primary until the hedge point (clamped to the
+	// deadline) before spending money on a backup.
+	wait1 := thresh
+	if deadline > 0 && deadline < wait1 {
+		wait1 = deadline
+	}
+	res, err := primary.WaitTimeout(proc, msToDur(wait1))
+	if err == nil || !errors.Is(err, simnet.ErrTimeout) {
+		return res, err
+	}
+	if deadline > 0 && wait1 >= deadline {
+		d.watchAbandoned(primary, qs)
+		return platform.InvokeResult{}, fmt.Errorf("%s: %w", name, ErrDeadline)
+	}
+
+	// Phase 2: the primary is a suspected straggler — race it against a
+	// backup; first response wins, the loser's billing becomes overhead.
+	qs.hedged()
+	backup := ctx.InvokeAsync(name, req)
+	env := d.p.Env()
+	win := simnet.NewPromise[hedgeOut](env)
+	var fails atomic.Int32
+	watch := func(pr *simnet.Promise[platform.InvokeResult], isBackup bool) {
+		env.Go("hedge-watch:"+name, func(wp *simnet.Proc) {
+			res, err := pr.Wait(wp)
+			if err != nil {
+				qs.addExtra(platform.BilledMsOf(err))
+				if fails.Add(1) == 2 {
+					win.TryFail(err)
+				}
+				return
+			}
+			if !win.TryResolve(hedgeOut{res: res, backup: isBackup}) {
+				qs.addExtra(res.TotalBilledMs) // lost the race
+			}
+		})
+	}
+	watch(primary, false)
+	watch(backup, true)
+
+	var out hedgeOut
+	var werr error
+	if deadline > 0 {
+		out, werr = win.WaitTimeout(proc, msToDur(deadline-wait1))
+		if errors.Is(werr, simnet.ErrTimeout) {
+			// Nobody answered in time: abandon both. Failing the race
+			// promise routes their eventual completions to addExtra.
+			win.TryFail(errHedgeAbandoned)
+			return platform.InvokeResult{}, fmt.Errorf("%s: %w", name, ErrDeadline)
+		}
+	} else {
+		out, werr = win.Wait(proc)
+	}
+	if werr != nil {
+		return platform.InvokeResult{}, werr
+	}
+	if out.backup {
+		qs.wonHedge()
+		qs.survive()
+	}
+	return out.res, nil
+}
+
+// launchWorker starts one fork-join worker call. Naive deployments keep the
+// original direct InvokeAsync; resilient ones drive callWorker from a
+// spawned caller process so retries and hedges of different partitions
+// overlap in time, exactly like the original fork.
+func (d *Deployment) launchWorker(ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats) *simnet.Promise[platform.InvokeResult] {
+	if !d.opts.resilient() {
+		return ctx.InvokeAsync(d.workerName(gi, part), req)
+	}
+	pr := simnet.NewPromise[platform.InvokeResult](d.p.Env())
+	d.p.Env().Go("call:"+d.workerName(gi, part), func(proc *simnet.Proc) {
+		res, err := d.callWorker(proc, ctx, gi, part, req, qs)
+		if err != nil {
+			pr.Fail(err)
+			return
+		}
+		pr.Resolve(res)
+	})
+	return pr
+}
+
+// fallbackKey names the object-storage copy of a group's weights kept for
+// graceful degradation.
+func (d *Deployment) fallbackKey(gi int) string {
+	return fmt.Sprintf("%s-weights-g%d", d.prefix, gi)
+}
+
+// fallbackLocal is the graceful-degradation path for a DimNone group whose
+// worker failed past the retry budget: the master fetches the group's
+// weights from object storage (charged at storage speed) and executes the
+// group locally. Real-mode outputs are computed by the same kernels, so the
+// result stays bitwise identical to the healthy path.
+func (d *Deployment) fallbackLocal(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor, qs *queryStats) (*tensor.Tensor, error) {
+	if _, err := ctx.StorageGet(d.fallbackKey(gi)); err != nil {
+		return nil, err
+	}
+	qs.fellBack()
+	qs.survive()
+	d.computeScaled(ctx, gr, 1.0)
+	if d.mode == Real {
+		restore := d.opts.kernelScope()
+		defer restore()
+		return partition.ForwardChain(gr.units, in)
+	}
+	return nil, nil
+}

@@ -1,0 +1,354 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"gillis/internal/partition"
+	"gillis/internal/platform"
+	"gillis/internal/simnet"
+	"gillis/internal/tensor"
+)
+
+// resilPlan covers every resilient code path: a pure fork (channel), a
+// mixed master+worker fork (spatial), and a remote DimNone group (the
+// fallback target).
+func resilPlan(t *testing.T, units []*partition.Unit) *partition.Plan {
+	t.Helper()
+	plan := &partition.Plan{Model: "tinycnn", Groups: []partition.GroupPlan{
+		{First: 0, Last: 0, Option: partition.Option{Dim: partition.DimChannel, Parts: 2}},
+		{First: 1, Last: 2, Option: partition.Option{Dim: partition.DimSpatial, Parts: 2}, OnMaster: true},
+		{First: 3, Last: 3, Option: partition.Option{Dim: partition.DimNone, Parts: 1}},
+	}}
+	if err := plan.Validate(units); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestResilientServes1000Through5pctFailures is the PR's acceptance
+// criterion: with a 5% injected invocation-failure rate and retries
+// enabled, a residual-CNN fork-join deployment completes 1000/1000 queries
+// in Real mode with outputs bitwise identical to the fault-free run.
+func TestResilientServes1000Through5pctFailures(t *testing.T) {
+	units := tinyCNN(t)
+	plan := resilPlan(t, units)
+	x := tensor.Rand(rand.New(rand.NewSource(7)), 1, 3, 24, 24)
+	want, err := partition.ForwardChain(units, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := platform.AWSLambda()
+	cfg.Faults = platform.FaultProfile{FailureProb: 0.05}
+	const n = 1000
+	var totalRetries, survived int
+	runClient(t, cfg, 42, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, Real, WithRetries(3, 5), WithMasterFallback())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			res, err := d.Serve(proc, x)
+			if err != nil {
+				t.Errorf("query %d failed despite retries: %v", i, err)
+				return
+			}
+			if !tensor.Equal(res.Output, want) {
+				t.Errorf("query %d output differs from fault-free run", i)
+				return
+			}
+			totalRetries += res.Resilience.Retries
+			survived += res.Resilience.FaultsSurvived
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	// At 5% per-invocation failure over ~6 invocations per query, faults
+	// must actually have been absorbed — otherwise the test proves nothing.
+	if totalRetries == 0 || survived == 0 {
+		t.Fatalf("no faults encountered (retries=%d survived=%d); fault injection inactive?", totalRetries, survived)
+	}
+	t.Logf("1000/1000 queries, %d retries, %d faults survived", totalRetries, survived)
+}
+
+// TestNaiveFailsUnderFaults shows the counterpart: the no-retry
+// configuration demonstrably fails queries at the same fault rate.
+func TestNaiveFailsUnderFaults(t *testing.T) {
+	units := tinyCNN(t)
+	plan := resilPlan(t, units)
+	x := tensor.Rand(rand.New(rand.NewSource(7)), 1, 3, 24, 24)
+	cfg := platform.AWSLambda()
+	cfg.Faults = platform.FaultProfile{FailureProb: 0.05}
+	failures := 0
+	runClient(t, cfg, 42, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := d.Serve(proc, x); err != nil {
+				failures++
+			}
+		}
+	})
+	if failures == 0 {
+		t.Fatal("naive deployment survived 200 queries at 5% fault rate; faults not reaching the runtime")
+	}
+	t.Logf("naive config: %d/200 queries failed", failures)
+}
+
+// TestResilientFaultScheduleReproducible asserts same platform seed ⇒ same
+// fault schedule, observed end to end through the serving runtime.
+func TestResilientFaultScheduleReproducible(t *testing.T) {
+	type obs struct {
+		failed  bool
+		retries int
+		latency float64
+	}
+	run := func(seed int64) []obs {
+		units := tinyCNN(t)
+		plan := resilPlan(t, units)
+		cfg := platform.AWSLambda()
+		cfg.Faults = platform.FaultProfile{FailureProb: 0.1, StragglerProb: 0.1, StragglerFactor: 4, EvictionProb: 0.05}
+		var out []obs
+		runClient(t, cfg, seed, func(p *platform.Platform, proc *simnet.Proc) {
+			d, err := Deploy(p, units, plan, ShapeOnly, WithRetries(2, 10), WithMasterFallback())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 150; i++ {
+				res, err := d.Serve(proc, nil)
+				out = append(out, obs{failed: err != nil, retries: res.Resilience.Retries, latency: res.LatencyMs})
+			}
+		})
+		return out
+	}
+	a, b := run(123), run(123)
+	if len(a) != len(b) {
+		t.Fatalf("query counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at query %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(124)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestHedgingAgainstStragglers exercises the hedge race: frequent 10×
+// stragglers, hedging past the 80th percentile. Backups must launch and
+// win races, and every query must still produce the exact output.
+func TestHedgingAgainstStragglers(t *testing.T) {
+	units := tinyCNN(t)
+	plan := resilPlan(t, units)
+	x := tensor.Rand(rand.New(rand.NewSource(9)), 1, 3, 24, 24)
+	want, err := partition.ForwardChain(units, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := platform.AWSLambda()
+	cfg.Faults = platform.FaultProfile{StragglerProb: 0.3, StragglerFactor: 10}
+	var hedges, won int
+	runClient(t, cfg, 11, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, Real, WithHedging(80), WithRetries(2, 5))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 80; i++ {
+			res, err := d.Serve(proc, x)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if !tensor.Equal(res.Output, want) {
+				t.Errorf("query %d: hedged output differs", i)
+				return
+			}
+			hedges += res.Resilience.Hedges
+			won += res.Resilience.HedgesWon
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	if hedges == 0 {
+		t.Fatal("no hedges launched under 30% 10x stragglers")
+	}
+	if won == 0 {
+		t.Fatal("no hedge race won; backups should beat 10x stragglers")
+	}
+	t.Logf("%d hedges launched, %d won", hedges, won)
+}
+
+// TestDeadlineAbandonsStragglers gives worker attempts a deadline derived
+// from a fault-free calibration query: extreme stragglers blow it, are
+// abandoned (billed time surfaces as ExtraBilledMs) and retried.
+func TestDeadlineAbandonsStragglers(t *testing.T) {
+	units := tinyCNN(t)
+	plan := resilPlan(t, units)
+
+	// Throttle compute so handler time dominates dispatch overheads —
+	// otherwise a 50x compute straggler barely moves total latency on this
+	// tiny model and the deadline never trips.
+	slowCfg := platform.AWSLambda()
+	slowCfg.GFLOPS = 0.02
+
+	// Calibrate: the worst healthy group round, fault-free.
+	var calMs float64
+	runClient(t, slowCfg, 5, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 5; i++ {
+			res, err := d.Serve(proc, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, g := range res.GroupMs {
+				if g > calMs {
+					calMs = g
+				}
+			}
+		}
+	})
+	if t.Failed() {
+		return
+	}
+
+	cfg := slowCfg
+	cfg.Faults = platform.FaultProfile{StragglerProb: 0.3, StragglerFactor: 50}
+	var retries int
+	var extra int64
+	runClient(t, cfg, 6, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, ShapeOnly, WithDeadline(3*calMs), WithRetries(5, 2), WithMasterFallback())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 40; i++ {
+			res, err := d.Serve(proc, nil)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			retries += res.Resilience.Retries
+			extra += res.Resilience.ExtraBilledMs
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	if retries == 0 {
+		t.Fatal("50x stragglers never hit the 3x deadline")
+	}
+	if extra == 0 {
+		t.Fatal("abandoned attempts must surface billed time in ExtraBilledMs")
+	}
+	t.Logf("deadline: %d retries, %d extra billed ms", retries, extra)
+}
+
+// TestMasterFallbackServesCorrectOutput drives the DimNone worker to fail
+// nearly always: the master must degrade to local execution and still
+// produce the bitwise-exact output.
+func TestMasterFallbackServesCorrectOutput(t *testing.T) {
+	units := tinyCNN(t)
+	plan := resilPlan(t, units)
+	x := tensor.Rand(rand.New(rand.NewSource(13)), 1, 3, 24, 24)
+	want, err := partition.ForwardChain(units, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 70% per-invocation failure even the master exhausts its retry
+	// budget sometimes, so client-level failures are tolerated here; the
+	// point is that whenever a query does complete, worker outages on the
+	// DimNone group were absorbed by the fallback with an exact output.
+	cfg := platform.AWSLambda()
+	cfg.Faults = platform.FaultProfile{FailureProb: 0.7}
+	var fallbacks, served int
+	runClient(t, cfg, 21, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, Real, WithRetries(4, 2), WithMasterFallback())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 60; i++ {
+			res, err := d.Serve(proc, x)
+			if err != nil {
+				continue // master itself out of luck this query
+			}
+			if !tensor.Equal(res.Output, want) {
+				t.Errorf("query %d: degraded output differs", i)
+				return
+			}
+			served++
+			fallbacks += res.Resilience.Fallbacks
+		}
+	})
+	if t.Failed() {
+		return
+	}
+	if served == 0 {
+		t.Fatal("no query completed at all")
+	}
+	if fallbacks == 0 {
+		t.Fatalf("0 fallbacks in %d served queries at 70%% failure; 0.7^5 per call should exhaust retries often", served)
+	}
+	t.Logf("%d fallbacks across %d served queries", fallbacks, served)
+}
+
+// TestNaivePathUnchangedByResilienceLayer pins that a deployment with no
+// resilience options behaves exactly as before the layer existed: same
+// latency and billing as the pre-refactor direct path, zero telemetry.
+func TestNaivePathUnchangedByResilienceLayer(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	runClient(t, platform.AWSLambda(), 3, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.Serve(proc, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Resilience != (Resilience{}) {
+			t.Errorf("naive fault-free query reported telemetry: %+v", res.Resilience)
+		}
+	})
+}

@@ -39,19 +39,20 @@ var deploySeq atomic.Int64
 
 // groupRuntime precomputes everything a group needs at query time.
 type groupRuntime struct {
-	gp        partition.GroupPlan
-	units     []*partition.Unit
-	flops     int64 // monolithic group FLOPs
-	opBytes   int64 // monolithic bytes touched
-	opCount   int   // number of ops (dispatch overheads)
-	spatial   []partition.PartSlice
-	channel   []partition.ChannelSlice
-	inBytes   int64 // full group input payload
-	outBytes  int64 // full group output payload
-	outShape  []int
-	partFLOPs []int64 // per partition
-	partIn    []int64
-	partOut   []int64
+	gp          partition.GroupPlan
+	units       []*partition.Unit
+	flops       int64 // monolithic group FLOPs
+	opBytes     int64 // monolithic bytes touched
+	opCount     int   // number of ops (dispatch overheads)
+	spatial     []partition.PartSlice
+	channel     []partition.ChannelSlice
+	inBytes     int64 // full group input payload
+	outBytes    int64 // full group output payload
+	outShape    []int
+	weightBytes int64   // partition weight bytes (fallback fetch size)
+	partFLOPs   []int64 // per partition
+	partIn      []int64
+	partOut     []int64
 }
 
 // Deployment is a model served under a plan on a platform.
@@ -63,6 +64,7 @@ type Deployment struct {
 	prefix string
 	groups []*groupRuntime
 	opts   deployOpts
+	hist   *latencyHistory // per-group worker latencies (hedging trigger)
 
 	// Master is the entry function name.
 	Master string
@@ -94,6 +96,7 @@ func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan,
 		plan:   plan,
 		mode:   mode,
 		prefix: fmt.Sprintf("%s-d%d", plan.Model, deploySeq.Add(1)),
+		hist:   newLatencyHistory(),
 	}
 	for _, opt := range opts {
 		opt(&d.opts)
@@ -117,6 +120,7 @@ func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan,
 		if gp.OnMaster {
 			masterBytes += ext.WeightBytes
 		}
+		gr.weightBytes = ext.WeightBytes
 		d.groups = append(d.groups, gr)
 	}
 	if masterBytes > budget {
@@ -126,6 +130,15 @@ func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan,
 
 	if err := p.Register(d.Master, d.masterHandler); err != nil {
 		return nil, err
+	}
+	if d.opts.fallback {
+		// Keep a storage copy of every remote DimNone group's weights so
+		// the master can degrade gracefully when that worker is down.
+		for gi, gr := range d.groups {
+			if gr.gp.Option.Dim == partition.DimNone && !gr.gp.OnMaster {
+				p.Seed(d.fallbackKey(gi), platform.Object{Bytes: gr.weightBytes})
+			}
+		}
 	}
 	for gi, gr := range d.groups {
 		parts := gr.gp.Option.Parts
@@ -189,15 +202,22 @@ type Result struct {
 	BilledMs int64
 	// ColdStart reports whether the master cold-started.
 	ColdStart bool
+	// Resilience reports the query's resilience telemetry (all zero for a
+	// naive deployment on a fault-free platform).
+	Resilience Resilience
 }
 
 // masterResp is the master function's response body.
 type masterResp struct {
 	output  *tensor.Tensor
 	groupMs []float64
+	resil   Resilience
 }
 
-// Serve executes one inference query from a client process.
+// Serve executes one inference query from a client process. When the
+// deployment has a retry budget, it also covers the master invocation
+// itself — a crashed or evicted master is re-invoked with the same input,
+// so Real-mode outputs are unaffected.
 func (d *Deployment) Serve(proc *simnet.Proc, input *tensor.Tensor) (Result, error) {
 	payload := platform.Payload{Bytes: tensor.SizeBytes(d.units[0].InShape)}
 	if d.mode == Real {
@@ -207,27 +227,43 @@ func (d *Deployment) Serve(proc *simnet.Proc, input *tensor.Tensor) (Result, err
 		payload.Data = input
 		payload.Bytes = input.Bytes()
 	}
-	res, err := d.p.InvokeFrom(proc, d.Master, payload)
-	if err != nil {
-		return Result{}, err
-	}
-	out := Result{
-		LatencyMs: res.HandlerMs,
-		BilledMs:  res.TotalBilledMs,
-		ColdStart: res.ColdStart,
-	}
-	mr, ok := res.Resp.Data.(*masterResp)
-	if !ok {
-		return Result{}, fmt.Errorf("runtime: master returned %T", res.Resp.Data)
-	}
-	out.GroupMs = mr.groupMs
-	if d.mode == Real {
-		if mr.output == nil {
-			return Result{}, fmt.Errorf("runtime: master returned no tensor in Real mode")
+	var lastErr error
+	var extra int64
+	clientRetries := 0
+	for attempt := 0; attempt <= d.opts.retries; attempt++ {
+		if attempt > 0 {
+			clientRetries++
+			proc.Sleep(msToDur(d.opts.backoff(attempt)))
 		}
-		out.Output = mr.output
+		res, err := d.p.InvokeFrom(proc, d.Master, payload)
+		if err != nil {
+			extra += platform.BilledMsOf(err)
+			lastErr = err
+			continue
+		}
+		out := Result{
+			LatencyMs: res.HandlerMs,
+			BilledMs:  res.TotalBilledMs,
+			ColdStart: res.ColdStart,
+		}
+		mr, ok := res.Resp.Data.(*masterResp)
+		if !ok {
+			return Result{}, fmt.Errorf("runtime: master returned %T", res.Resp.Data)
+		}
+		out.Resilience = mr.resil
+		out.Resilience.Retries += clientRetries
+		out.Resilience.FaultsSurvived += clientRetries
+		out.Resilience.ExtraBilledMs += extra
+		out.GroupMs = mr.groupMs
+		if d.mode == Real {
+			if mr.output == nil {
+				return Result{}, fmt.Errorf("runtime: master returned no tensor in Real mode")
+			}
+			out.Output = mr.output
+		}
+		return out, nil
 	}
-	return out, nil
+	return Result{}, lastErr
 }
 
 // masterHandler orchestrates the fork-join rounds (Fig. 4).
@@ -240,10 +276,11 @@ func (d *Deployment) masterHandler(ctx *platform.Ctx, payload platform.Payload) 
 			return platform.Payload{}, fmt.Errorf("runtime: master got %T, want tensor", payload.Data)
 		}
 	}
+	qs := &queryStats{}
 	groupMs := make([]float64, 0, len(d.groups))
 	for gi, gr := range d.groups {
 		before := ctx.Proc().Now()
-		next, err := d.runGroup(ctx, gi, gr, cur)
+		next, err := d.runGroup(ctx, gi, gr, cur, qs)
 		if err != nil {
 			return platform.Payload{}, err
 		}
@@ -251,11 +288,11 @@ func (d *Deployment) masterHandler(ctx *platform.Ctx, payload platform.Payload) 
 		cur = next
 	}
 	last := d.groups[len(d.groups)-1]
-	return platform.Payload{Bytes: last.outBytes, Data: &masterResp{output: cur, groupMs: groupMs}}, nil
+	return platform.Payload{Bytes: last.outBytes, Data: &masterResp{output: cur, groupMs: groupMs, resil: qs.snapshot()}}, nil
 }
 
 // runGroup executes one layer group from the master's perspective.
-func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor) (*tensor.Tensor, error) {
+func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor, qs *queryStats) (*tensor.Tensor, error) {
 	opt := gr.gp.Option
 
 	// Whole group on the master: local execution.
@@ -269,14 +306,18 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 		return nil, nil
 	}
 
-	// Whole group on a single worker: remote round.
+	// Whole group on a single worker: remote round (with retries, and a
+	// master-local fallback when graceful degradation is enabled).
 	if opt.Dim == partition.DimNone {
 		req := platform.Payload{Bytes: gr.inBytes}
 		if d.mode == Real {
 			req.Data = in
 		}
-		res, err := ctx.Invoke(d.workerName(gi, 0), req)
+		res, err := d.callWorker(ctx.Proc(), ctx, gi, 0, req, qs)
 		if err != nil {
+			if d.opts.fallback {
+				return d.fallbackLocal(ctx, gi, gr, in, qs)
+			}
 			return nil, err
 		}
 		return d.tensorOf(res.Resp)
@@ -298,7 +339,7 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 			}
 			req.Data = slab
 		}
-		promises = append(promises, ctx.InvokeAsync(d.workerName(gi, part), req))
+		promises = append(promises, d.launchWorker(ctx, gi, part, req, qs))
 	}
 
 	outs := make([]*tensor.Tensor, opt.Parts)

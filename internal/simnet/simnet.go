@@ -11,8 +11,10 @@ package simnet
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -171,19 +173,38 @@ func NewPromise[T any](env *Env) *Promise[T] {
 
 // Resolve fulfills the promise and wakes all waiters at the current virtual
 // time. Resolving twice panics: it indicates a protocol bug.
-func (pr *Promise[T]) Resolve(v T) { pr.complete(v, nil) }
+func (pr *Promise[T]) Resolve(v T) {
+	if !pr.tryComplete(v, nil) {
+		panic("simnet: promise resolved twice")
+	}
+}
 
 // Fail completes the promise with an error.
 func (pr *Promise[T]) Fail(err error) {
 	var zero T
-	pr.complete(zero, err)
+	if !pr.tryComplete(zero, err) {
+		panic("simnet: promise resolved twice")
+	}
 }
 
-func (pr *Promise[T]) complete(v T, err error) {
+// TryResolve fulfills the promise if it has not completed yet, reporting
+// whether this call won. Use it for first-wins races (e.g. hedged requests)
+// where several processes may legitimately attempt to complete the same
+// promise.
+func (pr *Promise[T]) TryResolve(v T) bool { return pr.tryComplete(v, nil) }
+
+// TryFail completes the promise with an error if it has not completed yet,
+// reporting whether this call won.
+func (pr *Promise[T]) TryFail(err error) bool {
+	var zero T
+	return pr.tryComplete(zero, err)
+}
+
+func (pr *Promise[T]) tryComplete(v T, err error) bool {
 	pr.mu.Lock()
 	if pr.resolved {
 		pr.mu.Unlock()
-		panic("simnet: promise resolved twice")
+		return false
 	}
 	pr.resolved = true
 	pr.value, pr.err = v, err
@@ -196,6 +217,15 @@ func (pr *Promise[T]) complete(v T, err error) {
 		pr.env.pushLocked(pr.env.now, w)
 	}
 	pr.env.mu.Unlock()
+	return true
+}
+
+// Poll reports, without blocking, whether the promise has completed, and
+// returns its value and error when it has.
+func (pr *Promise[T]) Poll() (v T, err error, ok bool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.value, pr.err, pr.resolved
 }
 
 // Wait parks the process until the promise resolves and returns its value.
@@ -224,6 +254,60 @@ func (pr *Promise[T]) Wait(p *Proc) (T, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
 	return pr.value, pr.err
+}
+
+// ErrTimeout is returned by WaitTimeout when the deadline elapses before the
+// promise completes.
+var ErrTimeout = errors.New("simnet: wait deadline exceeded")
+
+// WaitTimeout parks the process until the promise completes or d of virtual
+// time elapses, whichever comes first. On completion it behaves like Wait;
+// on timeout it returns ErrTimeout. The promise itself is unaffected — it
+// may still complete later, and other waiters (or a later Wait) observe its
+// value as usual. A non-positive d times out immediately unless the promise
+// has already completed. The platform's function-execution timeout and the
+// serving runtime's per-invocation deadlines build on this primitive.
+func (pr *Promise[T]) WaitTimeout(p *Proc, d time.Duration) (T, error) {
+	pr.mu.Lock()
+	if pr.resolved {
+		v, err := pr.value, pr.err
+		pr.mu.Unlock()
+		return v, err
+	}
+	var zero T
+	if d <= 0 {
+		pr.mu.Unlock()
+		return zero, ErrTimeout
+	}
+	e := pr.env
+	// Both the completion waiter and the timer event run in scheduler
+	// context; the CAS picks the single winner that resumes the process.
+	// The loser's callback becomes a no-op.
+	var fired atomic.Bool
+	wake := func() {
+		if fired.CompareAndSwap(false, true) {
+			e.runnable++
+			e.parked--
+			p.resume <- struct{}{}
+		}
+	}
+	pr.waiters = append(pr.waiters, wake)
+	pr.mu.Unlock()
+
+	e.mu.Lock()
+	e.pushLocked(e.now+d, wake)
+	e.runnable--
+	e.parked++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-p.resume
+
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.resolved {
+		return pr.value, pr.err
+	}
+	return zero, ErrTimeout
 }
 
 // Resource is a FIFO-ordered exclusive resource (capacity 1), used to model

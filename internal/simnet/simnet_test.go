@@ -136,6 +136,207 @@ func TestPromiseFail(t *testing.T) {
 	}
 }
 
+func TestPromiseFailWakesAllWaiters(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("waiter", func(p *Proc) { _, errs[i] = pr.Wait(p) })
+	}
+	env.Go("failer", func(p *Proc) {
+		p.Sleep(ms(5))
+		pr.Fail(errTest)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != errTest {
+			t.Fatalf("waiter %d got %v, want errTest", i, err)
+		}
+	}
+	// A late Wait on a failed promise returns the error immediately.
+	env2 := NewEnv()
+	pr2 := NewPromise[int](env2)
+	pr2.Fail(errTest)
+	var late error
+	env2.Go("late", func(p *Proc) { _, late = pr2.Wait(p) })
+	if err := env2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if late != errTest {
+		t.Fatalf("late waiter got %v", late)
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var (
+		err error
+		at  time.Duration
+	)
+	env.Go("waiter", func(p *Proc) {
+		_, err = pr.WaitTimeout(p, ms(10))
+		at = p.Now()
+	})
+	env.Go("slow", func(p *Proc) {
+		p.Sleep(ms(50))
+		pr.Resolve(1)
+	})
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err != ErrTimeout {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if at != ms(10) {
+		t.Fatalf("timed out at %v, want 10ms", at)
+	}
+}
+
+func TestWaitTimeoutResolvesFirst(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var (
+		v   int
+		err error
+		at  time.Duration
+	)
+	env.Go("waiter", func(p *Proc) {
+		v, err = pr.WaitTimeout(p, ms(100))
+		at = p.Now()
+	})
+	env.Go("fast", func(p *Proc) {
+		p.Sleep(ms(5))
+		pr.Resolve(7)
+	})
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err != nil || v != 7 {
+		t.Fatalf("got (%d, %v)", v, err)
+	}
+	if at != ms(5) {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+}
+
+func TestWaitTimeoutFailureFirst(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var err error
+	env.Go("waiter", func(p *Proc) { _, err = pr.WaitTimeout(p, ms(100)) })
+	env.Go("failer", func(p *Proc) {
+		p.Sleep(ms(2))
+		pr.Fail(errTest)
+	})
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err != errTest {
+		t.Fatalf("got %v, want errTest (promise failure, not timeout)", err)
+	}
+}
+
+func TestWaitTimeoutAlreadyResolved(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[string](env)
+	pr.Resolve("done")
+	var (
+		v   string
+		err error
+	)
+	env.Go("waiter", func(p *Proc) { v, err = pr.WaitTimeout(p, ms(1)) })
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if v != "done" || err != nil {
+		t.Fatalf("got (%q, %v)", v, err)
+	}
+}
+
+func TestWaitTimeoutNonPositive(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var err error
+	env.Go("waiter", func(p *Proc) { _, err = pr.WaitTimeout(p, 0) })
+	env.Go("resolver", func(p *Proc) {
+		p.Sleep(ms(1))
+		pr.Resolve(1) // after the zero-deadline waiter already gave up
+	})
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err != ErrTimeout {
+		t.Fatalf("got %v, want immediate ErrTimeout", err)
+	}
+}
+
+// After a timed-out wait, the promise still completes normally for other
+// waiters, and a plain Wait sees the value.
+func TestWaitTimeoutDoesNotConsumePromise(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var first error
+	var second int
+	env.Go("impatient", func(p *Proc) {
+		_, first = pr.WaitTimeout(p, ms(1))
+		second, _ = pr.Wait(p) // now wait for real
+	})
+	env.Go("slow", func(p *Proc) {
+		p.Sleep(ms(20))
+		pr.Resolve(9)
+	})
+	if rerr := env.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if first != ErrTimeout || second != 9 {
+		t.Fatalf("got (%v, %d)", first, second)
+	}
+}
+
+func TestTryResolveFirstWins(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	var wins [2]bool
+	for i, d := range []int{5, 10} {
+		i, d := i, d
+		env.Go("racer", func(p *Proc) {
+			p.Sleep(ms(d))
+			wins[i] = pr.TryResolve(i)
+		})
+	}
+	var got int
+	env.Go("waiter", func(p *Proc) { got, _ = pr.Wait(p) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !wins[0] || wins[1] {
+		t.Fatalf("wins %v, want first-only", wins)
+	}
+	if got != 0 {
+		t.Fatalf("value %d, want the first racer's", got)
+	}
+	if pr.TryFail(errTest) {
+		t.Fatal("TryFail after completion must lose")
+	}
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	env := NewEnv()
+	pr := NewPromise[int](env)
+	if _, _, ok := pr.Poll(); ok {
+		t.Fatal("unresolved promise must poll not-ok")
+	}
+	pr.Resolve(3)
+	v, err, ok := pr.Poll()
+	if !ok || v != 3 || err != nil {
+		t.Fatalf("got (%d, %v, %v)", v, err, ok)
+	}
+}
+
 var errTest = errString("boom")
 
 type errString string

@@ -5,9 +5,10 @@
 # layer.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet
+RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet \
+	./internal/bench ./internal/trace ./internal/trace/tracetest
 
-.PHONY: ci vet build test race chaos bench-kernels bench-chaos
+.PHONY: ci vet build test race chaos cover bench-kernels bench-chaos
 
 ci: vet build test race chaos
 
@@ -28,6 +29,12 @@ race:
 chaos:
 	$(GO) test ./internal/bench -run TestChaos -count=1
 	$(GO) test ./internal/runtime -run 'TestResilient|TestNaiveFails' -count=1
+
+# Per-package coverage gate: fails if any package listed in
+# COVERAGE_BASELINE drops below its recorded floor. Regenerate the baseline
+# with `./scripts/check_coverage.sh -update`.
+cover:
+	./scripts/check_coverage.sh
 
 # Regenerate the checked-in kernel benchmark baseline on this machine.
 bench-kernels:

@@ -7,6 +7,12 @@
 //	             [-queries N] [-quick] [-out FILE] [-parallelism N]
 //	             [-faults R1,R2,...] [-chaos-json FILE]
 //	             [-kernels-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	             [-trace-json FILE]
+//
+// -trace-json serves one seeded resilient fork-join query of the chaos
+// workload under fault injection and writes its span tree as Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto), skipping the
+// figure sweep.
 package main
 
 import (
@@ -65,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 	kernelsJSON := fs.String("kernels-json", "", "write the kernels figure as JSON to this file (BENCH_kernels.json baseline)")
 	faultsFlag := fs.String("faults", "", "comma-separated fault rates for the chaos figure (default 0.02,0.05,0.10)")
 	chaosJSON := fs.String("chaos-json", "", "write the chaos figure as JSON to this file (BENCH_chaos.json baseline)")
+	traceJSON := fs.String("trace-json", "", "trace one fork-join query and write Chrome trace-event JSON to this file")
+	traceFaults := fs.Float64("trace-faults", 0.05, "fault rate for the traced query (-trace-json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +114,19 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		ctx.FaultRates = rates
+	}
+
+	if *traceJSON != "" {
+		report, err := bench.QueryTrace(ctx, *traceFaults)
+		if err != nil {
+			return fmt.Errorf("trace-json: %w", err)
+		}
+		if err := os.WriteFile(*traceJSON, report.Chrome, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, report.Table())
+		fmt.Fprintf(stdout, "trace written to %s\n", *traceJSON)
+		return nil
 	}
 
 	want := make(map[string]bool)

@@ -8,6 +8,7 @@
 //	GET  /healthz     — liveness
 //	GET  /v1/model    — model metadata and the active plan
 //	POST /v1/predict  — {"shape":[3,32,32],"input":[...]} → prediction
+//	GET  /v1/metrics  — plain-text counters and histograms across all requests
 //
 // Usage:
 //
@@ -34,6 +35,7 @@ import (
 	"gillis/internal/runtime"
 	"gillis/internal/simnet"
 	"gillis/internal/tensor"
+	"gillis/internal/trace"
 )
 
 func main() {
@@ -54,13 +56,16 @@ func main() {
 }
 
 // server holds the loaded model and its plan; each request runs one
-// simulated fork-join inference with real tensor math.
+// simulated fork-join inference with real tensor math. metrics is shared
+// across the per-request platforms, so /v1/metrics aggregates over the
+// server's lifetime.
 type server struct {
-	model *graph.Graph
-	units []*partition.Unit
-	plan  *partition.Plan
-	cfg   platform.Config
-	seed  int64
+	model   *graph.Graph
+	units   []*partition.Unit
+	plan    *partition.Plan
+	cfg     platform.Config
+	seed    int64
+	metrics *trace.Registry
 }
 
 func newServer(modelFile, platformName string, seed int64) (*server, error) {
@@ -93,7 +98,7 @@ func newServer(modelFile, platformName string, seed int64) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed}, nil
+	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed, metrics: trace.NewRegistry()}, nil
 }
 
 // demoModel is the built-in CNN served when no model file is given.
@@ -118,7 +123,13 @@ func (s *server) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Summary())
 }
 
 // modelInfo is the /v1/model response body.
@@ -182,6 +193,7 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *server) infer(input *tensor.Tensor) (*predictResponse, error) {
 	env := simnet.NewEnv()
 	p := platform.New(env, s.cfg, s.seed)
+	p.UseMetrics(s.metrics)
 	var out *predictResponse
 	var serveErr error
 	env.Go("request", func(proc *simnet.Proc) {

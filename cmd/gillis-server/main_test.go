@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -138,5 +140,35 @@ func TestNewServerFromModelFile(t *testing.T) {
 	}
 	if _, err := newServer(path, "knix", 2); err == nil {
 		t.Fatal("expected no-weights error")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := demoServer(t)
+	// A predict first, so the shared registry has data to report.
+	in := tensor.Full(0.25, 3, 32, 32)
+	body, _ := json.Marshal(predictRequest{Shape: in.Shape(), Input: in.Data()})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", mresp.StatusCode)
+	}
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter platform.invocations", "counter runtime.queries", "histogram runtime.query_latency_ms"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics output misses %q:\n%s", want, text)
+		}
 	}
 }

@@ -8,7 +8,7 @@
 //	gillis inspect   -model vgg16
 //	gillis profile   -platform lambda
 //	gillis partition -model vgg16 -platform lambda [-slo 800]
-//	gillis serve     -model vgg16 -platform lambda [-slo 800] [-queries 100]
+//	gillis serve     -model vgg16 -platform lambda [-slo 800] [-queries 100] [-trace t.json]
 //	gillis export    -model vgg11 -out vgg11.glsm [-weights]
 package main
 
@@ -28,6 +28,7 @@ import (
 	"gillis/internal/runtime"
 	"gillis/internal/simnet"
 	"gillis/internal/stats"
+	"gillis/internal/trace"
 )
 
 func main() {
@@ -198,6 +199,7 @@ func cmdServe(args []string, out io.Writer) error {
 	queries := fs.Int("queries", 100, "warm queries to serve")
 	seed := fs.Int64("seed", 1, "seed")
 	planFile := fs.String("plan", "", "serve a previously saved plan instead of planning")
+	traceOut := fs.String("trace", "", "write the first query's span tree as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -237,6 +239,7 @@ func cmdServe(args []string, out io.Writer) error {
 	p := platform.New(env, cfg, *seed)
 	var lats []float64
 	var costs []float64
+	var tr *trace.Trace
 	var serveErr error
 	env.Go("client", func(proc *simnet.Proc) {
 		d, err := runtime.Deploy(p, units, plan, runtime.ShapeOnly)
@@ -249,7 +252,13 @@ func cmdServe(args []string, out io.Writer) error {
 			return
 		}
 		for i := 0; i < *queries; i++ {
-			r, err := d.Serve(proc, nil)
+			var r runtime.Result
+			var err error
+			if i == 0 && *traceOut != "" {
+				r, tr, err = d.ServeTraced(proc, nil)
+			} else {
+				r, err = d.Serve(proc, nil)
+			}
 			if err != nil {
 				serveErr = err
 				return
@@ -267,6 +276,12 @@ func cmdServe(args []string, out io.Writer) error {
 	fmt.Fprint(out, plan)
 	fmt.Fprintf(out, "served %d queries on %s: mean %.0f ms, p99 %.0f ms, mean billed %.0f ms/query\n",
 		*queries, *platformName, stats.Mean(lats), stats.Percentile(lats, 99), stats.Mean(costs))
+	if tr != nil {
+		if err := os.WriteFile(*traceOut, tr.ChromeJSON(nil), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "first query's trace written to %s (%d spans, Chrome trace-event JSON)\n", *traceOut, tr.Len())
+	}
 	return nil
 }
 

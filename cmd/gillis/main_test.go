@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -100,5 +102,27 @@ func TestUnknownPlatformRejected(t *testing.T) {
 		if _, err := runCmd(t, args...); err == nil {
 			t.Errorf("%v: expected unknown-platform error", args)
 		}
+	}
+}
+
+func TestServeWritesChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out, err := runCmd(t, "serve", "-model", "rnn3", "-platform", "lambda", "-queries", "2", "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace written to") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not valid Chrome JSON: %v", err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("suspiciously small trace: %d events", len(events))
 	}
 }

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestQueryTraceDeterministic pins the -trace-json export: the same seed
+// must yield the identical Chrome trace byte for byte, and the trace must be
+// valid, non-trivial JSON.
+func TestQueryTraceDeterministic(t *testing.T) {
+	run := func() *TraceReport {
+		ctx := NewContext(42)
+		ctx.Quick = true
+		r, err := QueryTrace(ctx, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.Chrome, b.Chrome) {
+		t.Fatal("same seed produced different trace JSON")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(a.Chrome, &events); err != nil {
+		t.Fatalf("trace is not valid Chrome JSON: %v", err)
+	}
+	if len(events) < 10 || a.Spans < 5 {
+		t.Fatalf("suspiciously small trace: %d events, %d spans", len(events), a.Spans)
+	}
+	if a.BilledMs <= 0 {
+		t.Fatalf("traced query billed %d ms", a.BilledMs)
+	}
+	tbl := a.Table()
+	if !strings.Contains(tbl, chaosModel) || !strings.Contains(tbl, "spans") {
+		t.Fatalf("unexpected table:\n%s", tbl)
+	}
+	for _, ev := range events {
+		if name, _ := ev["name"].(string); strings.Contains(name, chaosModel+"-d") {
+			t.Fatalf("deployment prefix leaked into trace name %q", name)
+		}
+	}
+}

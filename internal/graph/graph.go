@@ -154,6 +154,7 @@ func (g *Graph) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 				ins[i] = vals[in]
 			}
 		}
+		nn.Observe(n.Op)
 		out, err := n.Op.Forward(ins...)
 		if err != nil {
 			return nil, fmt.Errorf("graph %q node %d (%s): %w", g.Name, n.ID, n.Op.Name(), err)

@@ -1,0 +1,36 @@
+package nn
+
+import "sync/atomic"
+
+// ObserveFunc receives a notification immediately before an operator's
+// forward executes. The tracing subsystem installs one scoped around a
+// Real-mode forward to attribute per-operator kernel events to the
+// enclosing compute span.
+type ObserveFunc func(op Op)
+
+// observer holds the installed hook; nil means observation is off and the
+// per-op cost is a single atomic load.
+var observer atomic.Pointer[ObserveFunc]
+
+// SetObserver installs fn as the forward observer (nil disables it) and
+// returns a function restoring the previous hook. Like par.SetParallelism,
+// the hook is process-wide but intended for scoped use: within one
+// simulation environment at most one process executes at a time, so scopes
+// installed around a forward never overlap there.
+func SetObserver(fn ObserveFunc) (restore func()) {
+	var p *ObserveFunc
+	if fn != nil {
+		p = &fn
+	}
+	prev := observer.Swap(p)
+	return func() { observer.Store(prev) }
+}
+
+// Observe notifies the installed observer, if any, that op is about to
+// execute. Graph execution paths (monolithic forward, channel subgraphs,
+// halo-correct spatial execution) call it once per operator application.
+func Observe(op Op) {
+	if f := observer.Load(); f != nil {
+		(*f)(op)
+	}
+}

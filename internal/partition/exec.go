@@ -68,6 +68,7 @@ func execUnitPart(u *Unit, us unitSlice, slab *tensor.Tensor) (*tensor.Tensor, e
 			ins[i] = padded
 		}
 		sp := node.Op.(nn.Spatial) // hksp already verified
+		nn.Observe(node.Op)
 		out, err := sp.ForwardValidH(ins...)
 		if err != nil {
 			return nil, fmt.Errorf("partition: unit %d node %s: %w", u.Index, node.Op.Name(), err)

@@ -24,6 +24,7 @@ import (
 
 	"gillis/internal/simnet"
 	"gillis/internal/stats"
+	"gillis/internal/trace"
 )
 
 // Config describes one serverless platform.
@@ -286,6 +287,7 @@ type functionDef struct {
 type Platform struct {
 	cfg Config
 	env *simnet.Env
+	m   *pmetrics
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -295,6 +297,34 @@ type Platform struct {
 	invoked  int64
 	faulted  int64
 	billedMs int64
+}
+
+// pmetrics caches the platform's metric handles so the invocation hot path
+// pays no registry lookups.
+type pmetrics struct {
+	reg          *trace.Registry
+	invocations  *trace.Counter
+	coldStarts   *trace.Counter
+	billedMs     *trace.Counter
+	faultFailure *trace.Counter
+	faultTimeout *trace.Counter
+	faultEvicted *trace.Counter
+	overheadMs   *trace.Histogram
+	handlerMs    *trace.Histogram
+}
+
+func newPMetrics(reg *trace.Registry) *pmetrics {
+	return &pmetrics{
+		reg:          reg,
+		invocations:  reg.Counter("platform.invocations"),
+		coldStarts:   reg.Counter("platform.cold_starts"),
+		billedMs:     reg.Counter("platform.billed_ms"),
+		faultFailure: reg.Counter("platform.faults.failure"),
+		faultTimeout: reg.Counter("platform.faults.timeout"),
+		faultEvicted: reg.Counter("platform.faults.evicted"),
+		overheadMs:   reg.Histogram("platform.overhead_ms"),
+		handlerMs:    reg.Histogram("platform.handler_ms"),
+	}
 }
 
 // Object is an entry in the platform's object storage.
@@ -308,11 +338,23 @@ func New(env *simnet.Env, cfg Config, seed int64) *Platform {
 	return &Platform{
 		cfg:      cfg,
 		env:      env,
+		m:        newPMetrics(trace.NewRegistry()),
 		rng:      rand.New(rand.NewSource(seed)),
 		faultRng: rand.New(rand.NewSource(seed ^ faultSeedSalt)),
 		fns:      make(map[string]*functionDef),
 		storage:  make(map[string]Object),
 	}
+}
+
+// Metrics returns the registry the platform records invocation metrics into.
+func (p *Platform) Metrics() *trace.Registry { return p.m.reg }
+
+// UseMetrics redirects the platform's metric recording into reg, so several
+// platforms (e.g. one per served request) can aggregate into one registry.
+// Call it before the simulation runs; it is not safe concurrently with
+// in-flight invocations.
+func (p *Platform) UseMetrics(reg *trace.Registry) {
+	p.m = newPMetrics(reg)
 }
 
 // faultSeedSalt decorrelates the fault stream from the noise stream while
@@ -383,11 +425,17 @@ type Ctx struct {
 	fnName   string
 	uplink   *simnet.Resource
 	downlink *simnet.Resource
+	span     *trace.Span // exec span of this invocation; nil when untraced
 	start    time.Duration
 	slow     float64      // straggler compute multiplier (1 = healthy)
 	children atomic.Int64 // billed ms accumulated from nested invocations
 	killed   atomic.Bool  // set when the platform kills the instance
 }
+
+// Span returns this invocation's execution span (nil when the invocation is
+// untraced). Handlers use it to attach child spans and events; nil receivers
+// are safe everywhere in package trace, so handlers need no tracing check.
+func (c *Ctx) Span() *trace.Span { return c.span }
 
 // Killed reports whether the platform has killed this instance (execution
 // timeout). A killed handler keeps executing as a zombie in the simulation,
@@ -466,12 +514,25 @@ func settled(res InvokeResult, err error) (InvokeResult, error) {
 // on its downlink, reproducing the synchronization overhead that makes very
 // wide fan-outs counterproductive on Lambda (Fig. 7).
 func (c *Ctx) InvokeAsync(name string, payload Payload) *simnet.Promise[InvokeResult] {
+	pr, _ := c.InvokeAsyncSpan(name, payload, nil)
+	return pr
+}
+
+// InvokeAsyncSpan is InvokeAsync with explicit trace parentage: the new
+// invocation's span becomes a child of parent (or of this instance's own
+// execution span when parent is nil) and is returned so the caller can attach
+// attempt metadata. A killed instance's invocations fail fast without ever
+// reaching the platform, and correspondingly produce no span.
+func (c *Ctx) InvokeAsyncSpan(name string, payload Payload, parent *trace.Span) (*simnet.Promise[InvokeResult], *trace.Span) {
 	if c.killed.Load() {
 		pr := simnet.NewPromise[InvokeResult](c.platform.env)
 		pr.Fail(fmt.Errorf("platform: instance of %q was killed", c.fnName))
-		return pr
+		return pr, nil
 	}
-	return c.platform.invokeAsync(c, name, payload)
+	if parent == nil {
+		parent = c.span
+	}
+	return c.platform.invokeAsync(c, parent, name, payload)
 }
 
 // StorageGet fetches an object, charging storage latency plus transfer time.
@@ -507,28 +568,39 @@ func (p *Platform) Seed(key string, obj Object) {
 // client): invocation overhead and payload transfer still apply, but no
 // uplink serialization, since the client is not a constrained function.
 func (p *Platform) InvokeFrom(proc *simnet.Proc, name string, payload Payload) (InvokeResult, error) {
-	return settled(p.invokeAsync(nil, name, payload).Wait(proc))
+	return p.InvokeFromSpan(proc, name, payload, nil)
 }
 
-func (p *Platform) invokeAsync(from *Ctx, name string, payload Payload) *simnet.Promise[InvokeResult] {
+// InvokeFromSpan is InvokeFrom with the invocation's span attached under
+// parent (untraced when parent is nil).
+func (p *Platform) InvokeFromSpan(proc *simnet.Proc, name string, payload Payload, parent *trace.Span) (InvokeResult, error) {
+	pr, _ := p.invokeAsync(nil, parent, name, payload)
+	return settled(pr.Wait(proc))
+}
+
+func (p *Platform) invokeAsync(from *Ctx, parent *trace.Span, name string, payload Payload) (*simnet.Promise[InvokeResult], *trace.Span) {
+	sp := parent.Childf(trace.KindInvoke, "invoke:%s", name)
 	promise := simnet.NewPromise[InvokeResult](p.env)
 	p.env.Go("invoke:"+name, func(proc *simnet.Proc) {
-		res, err := p.runInvocation(proc, from, name, payload)
+		res, err := p.runInvocation(proc, from, sp, name, payload)
 		if err != nil {
 			promise.Fail(err)
 			return
 		}
 		promise.Resolve(res)
 	})
-	return promise
+	return promise, sp
 }
 
-func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payload Payload) (InvokeResult, error) {
+func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, name string, payload Payload) (InvokeResult, error) {
 	p.mu.Lock()
 	f, ok := p.fns[name]
 	p.mu.Unlock()
 	if !ok {
-		return InvokeResult{}, fmt.Errorf("platform: invoke of unknown function %q", name)
+		err := fmt.Errorf("platform: invoke of unknown function %q", name)
+		sp.Fail("", err.Error())
+		sp.EndSpan()
+		return InvokeResult{}, err
 	}
 
 	var res InvokeResult
@@ -538,6 +610,7 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	// transfer.
 	upMs := float64(payload.Bytes) / 1e6 / p.cfg.NetMBps * 1000
 	before := proc.Now()
+	usp := sp.Child(trace.KindUpload, "upload")
 	if from != nil {
 		from.uplink.Acquire(proc)
 		proc.Sleep(msToDur(p.cfg.RequestOverheadMs + upMs))
@@ -545,13 +618,16 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	} else {
 		proc.Sleep(msToDur(upMs))
 	}
+	usp.EndSpan()
 	res.UploadMs = durToMs(proc.Now() - before)
 
 	// Invocation dispatch overhead (EMG, §IV-A).
 	p.mu.Lock()
 	overhead := p.cfg.InvokeOverhead.Sample(p.rng)
 	p.mu.Unlock()
+	dsp := sp.Child(trace.KindDispatch, "dispatch")
 	proc.Sleep(msToDur(overhead))
+	dsp.EndSpan()
 	res.OverheadMs = overhead
 
 	// Fault draws: always in the same per-invocation order, from the
@@ -594,19 +670,31 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 		p.invoked++
 		p.faulted++
 		p.mu.Unlock()
-		return res, &InvokeError{Kind: FaultEvicted, Fn: name, Res: res}
+		p.m.invocations.Inc()
+		p.m.faultEvicted.Inc()
+		p.m.overheadMs.Observe(overhead)
+		ierr := &InvokeError{Kind: FaultEvicted, Fn: name, Res: res}
+		sp.SetBilled(0, 0)
+		sp.Fail(FaultEvicted.String(), ierr.Error())
+		sp.EndSpan()
+		return res, ierr
 	}
 
 	if res.ColdStart {
+		csp := sp.Child(trace.KindColdStart, "coldstart")
 		proc.Sleep(msToDur(p.cfg.ColdStartMs))
+		csp.EndSpan()
+		sp.SetAttr("cold", "1")
 	}
 
+	esp := sp.Child(trace.KindExec, "exec")
 	ctx := &Ctx{
 		platform: p,
 		proc:     proc,
 		fnName:   name,
 		uplink:   simnet.NewResource(p.env),
 		downlink: simnet.NewResource(p.env),
+		span:     esp,
 		slow:     slow,
 	}
 	ctx.start = proc.Now()
@@ -615,6 +703,9 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	res.HandlerMs = durToMs(proc.Now() - ctx.start)
 	if timedOut {
 		res.HandlerMs = faults.TimeoutMs // killed exactly at the limit
+		// The zombie handler ends the exec span when it drains; mark it so
+		// trace invariants tolerate a child outliving its parent here.
+		esp.SetAttr("killed", "1")
 	}
 	res.BilledMs = billed(res.HandlerMs, p.cfg.BillingGranMs)
 	res.TotalBilledMs = res.BilledMs + ctx.children.Load()
@@ -633,26 +724,52 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	}
 	p.mu.Unlock()
 
+	p.m.invocations.Inc()
+	if res.ColdStart {
+		p.m.coldStarts.Inc()
+	}
+	p.m.billedMs.Add(res.BilledMs)
+	p.m.overheadMs.Observe(overhead)
+	p.m.handlerMs.Observe(res.HandlerMs)
+
 	// Charge the caller's nested-billing accumulator exactly once, on
 	// every settled path — failed invocations are billed too.
 	if from != nil {
 		from.children.Add(res.TotalBilledMs)
 	}
 
+	// The invocation span owns this instance's own billed duration; nested
+	// invocations carry their own spans, so a flat sum over all spans
+	// reproduces the platform's authoritative BilledMsTotal.
+	sp.SetBilled(res.BilledMs, res.TotalBilledMs)
+
 	switch {
 	case timedOut:
-		return res, &InvokeError{Kind: FaultTimeout, Fn: name, Res: res}
+		p.m.faultTimeout.Inc()
+		ierr := &InvokeError{Kind: FaultTimeout, Fn: name, Res: res}
+		sp.Fail(FaultTimeout.String(), ierr.Error())
+		sp.EndSpan()
+		return res, ierr
 	case herr != nil:
-		return res, &InvokeError{Kind: FaultFailure, Fn: name, Res: res, Err: herr}
+		p.m.faultFailure.Inc()
+		ierr := &InvokeError{Kind: FaultFailure, Fn: name, Res: res, Err: herr}
+		sp.Fail(FaultFailure.String(), ierr.Error())
+		sp.EndSpan()
+		return res, ierr
 	case crash:
 		// The handler finished its (billed) work but crashed before the
 		// response left the instance.
-		return res, &InvokeError{Kind: FaultFailure, Fn: name, Res: res}
+		p.m.faultFailure.Inc()
+		ierr := &InvokeError{Kind: FaultFailure, Fn: name, Res: res}
+		sp.Fail(FaultFailure.String(), ierr.Error())
+		sp.EndSpan()
+		return res, ierr
 	}
 
 	// Response download: serialized on the caller's downlink.
 	downMs := float64(resp.Bytes) / 1e6 / p.cfg.NetMBps * 1000
 	before = proc.Now()
+	wsp := sp.Child(trace.KindDownload, "download")
 	if from != nil {
 		from.downlink.Acquire(proc)
 		proc.Sleep(msToDur(downMs))
@@ -660,8 +777,10 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, name string, payl
 	} else {
 		proc.Sleep(msToDur(downMs))
 	}
+	wsp.EndSpan()
 	res.DownloadMs = durToMs(proc.Now() - before)
 	res.Resp = resp
+	sp.EndSpan()
 	return res, nil
 }
 
@@ -675,6 +794,7 @@ func (p *Platform) runHandler(proc *simnet.Proc, ctx *Ctx, f *functionDef, paylo
 	if limit <= 0 {
 		ctx.proc = proc
 		resp, err := f.handler(ctx, payload)
+		ctx.span.EndSpan()
 		return resp, err, false
 	}
 	type handlerOut struct {
@@ -685,6 +805,9 @@ func (p *Platform) runHandler(proc *simnet.Proc, ctx *Ctx, f *functionDef, paylo
 	p.env.Go("exec:"+ctx.fnName, func(hp *simnet.Proc) {
 		ctx.proc = hp
 		resp, err := f.handler(ctx, payload)
+		// A killed handler ends its exec span here, at zombie drain time —
+		// after the parent invocation span settled (see the "killed" attr).
+		ctx.span.EndSpan()
 		done.Resolve(handlerOut{resp, err})
 	})
 	out, werr := done.WaitTimeout(proc, msToDur(limit))

@@ -419,7 +419,7 @@ func TestWarmPoolConcurrentAccounting(t *testing.T) {
 			const n = 5
 			prs := make([]*simnet.Promise[InvokeResult], n)
 			for i := range prs {
-				prs[i] = p.invokeAsync(nil, "f", Payload{})
+				prs[i], _ = p.invokeAsync(nil, nil, "f", Payload{})
 			}
 			for _, pr := range prs {
 				res, err := pr.Wait(proc)

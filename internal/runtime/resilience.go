@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"gillis/internal/simnet"
 	"gillis/internal/stats"
 	"gillis/internal/tensor"
+	"gillis/internal/trace"
 )
 
 // This file is the runtime's resilience layer: per-attempt deadlines,
@@ -144,27 +146,39 @@ func (d *Deployment) watchAbandoned(pr *simnet.Promise[platform.InvokeResult], q
 // resilience budget: per-attempt deadline, hedging, and bounded retries
 // with exponential backoff. proc is the process driving the call (the
 // master's own, or a spawned caller in a resilient fork-join round).
-func (d *Deployment) callWorker(proc *simnet.Proc, ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats) (platform.InvokeResult, error) {
+func (d *Deployment) callWorker(proc *simnet.Proc, ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats, parent *trace.Span) (platform.InvokeResult, error) {
+	csp := parent.Childf(trace.KindCall, "call:g%d.p%d", gi, part)
+	return d.callWorkerSpan(proc, ctx, gi, part, req, qs, csp)
+}
+
+// callWorkerSpan is callWorker recording into an already-opened call span
+// (launchWorker opens it at fork time, before the caller process is
+// scheduled).
+func (d *Deployment) callWorkerSpan(proc *simnet.Proc, ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats, csp *trace.Span) (platform.InvokeResult, error) {
 	name := d.workerName(gi, part)
 	attempts := d.opts.retries + 1
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			qs.retry()
+			csp.Event("retry", "attempt", strconv.Itoa(a))
 			proc.Sleep(msToDur(d.opts.backoff(a)))
 		}
 		start := proc.Now()
-		res, err := d.attemptWorker(proc, ctx, gi, name, req, qs)
+		res, err := d.attemptWorker(proc, ctx, gi, name, req, qs, csp)
 		if err == nil {
 			d.hist.record(gi, float64(proc.Now()-start)/1e6)
 			if a > 0 {
 				qs.survive()
 			}
+			csp.EndSpan()
 			return res, nil
 		}
 		qs.addExtra(platform.BilledMsOf(err))
 		lastErr = err
 	}
+	csp.Fail("", lastErr.Error())
+	csp.EndSpan()
 	return platform.InvokeResult{}, lastErr
 }
 
@@ -175,8 +189,9 @@ type hedgeOut struct {
 
 // attemptWorker makes one invocation attempt, hedging with a backup request
 // when the primary outlives the group's latency percentile.
-func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int, name string, req platform.Payload, qs *queryStats) (platform.InvokeResult, error) {
-	primary := ctx.InvokeAsync(name, req)
+func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int, name string, req platform.Payload, qs *queryStats, csp *trace.Span) (platform.InvokeResult, error) {
+	asp := csp.Child(trace.KindAttempt, "attempt")
+	primary, psp := ctx.InvokeAsyncSpan(name, req, asp)
 	deadline := d.opts.deadlineMs
 
 	var thresh float64
@@ -187,13 +202,22 @@ func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int,
 
 	if !hedging {
 		if deadline <= 0 {
-			return primary.Wait(proc)
+			res, err := primary.Wait(proc)
+			endAttempt(asp, err)
+			return res, err
 		}
 		res, err := primary.WaitTimeout(proc, msToDur(deadline))
 		if errors.Is(err, simnet.ErrTimeout) {
+			// The invocation span outlives this attempt; mark it so trace
+			// invariants accept the overhang, and so billing roll-ups know
+			// the subtree has unattributed work.
+			psp.SetAttr("abandoned", "deadline")
 			d.watchAbandoned(primary, qs)
-			return platform.InvokeResult{}, fmt.Errorf("%s: %w", name, ErrDeadline)
+			err = fmt.Errorf("%s: %w", name, ErrDeadline)
+			endAttempt(asp, err)
+			return platform.InvokeResult{}, err
 		}
+		endAttempt(asp, err)
 		return res, err
 	}
 
@@ -205,21 +229,28 @@ func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int,
 	}
 	res, err := primary.WaitTimeout(proc, msToDur(wait1))
 	if err == nil || !errors.Is(err, simnet.ErrTimeout) {
+		endAttempt(asp, err)
 		return res, err
 	}
 	if deadline > 0 && wait1 >= deadline {
+		psp.SetAttr("abandoned", "deadline")
 		d.watchAbandoned(primary, qs)
-		return platform.InvokeResult{}, fmt.Errorf("%s: %w", name, ErrDeadline)
+		err = fmt.Errorf("%s: %w", name, ErrDeadline)
+		endAttempt(asp, err)
+		return platform.InvokeResult{}, err
 	}
 
 	// Phase 2: the primary is a suspected straggler — race it against a
 	// backup; first response wins, the loser's billing becomes overhead.
 	qs.hedged()
-	backup := ctx.InvokeAsync(name, req)
+	asp.Event("hedge")
+	psp.SetAttr("hedge", "primary")
+	backup, bsp := ctx.InvokeAsyncSpan(name, req, asp)
+	bsp.SetAttr("hedge", "backup")
 	env := d.p.Env()
 	win := simnet.NewPromise[hedgeOut](env)
 	var fails atomic.Int32
-	watch := func(pr *simnet.Promise[platform.InvokeResult], isBackup bool) {
+	watch := func(pr *simnet.Promise[platform.InvokeResult], sp *trace.Span, isBackup bool) {
 		env.Go("hedge-watch:"+name, func(wp *simnet.Proc) {
 			res, err := pr.Wait(wp)
 			if err != nil {
@@ -229,13 +260,20 @@ func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int,
 				}
 				return
 			}
-			if !win.TryResolve(hedgeOut{res: res, backup: isBackup}) {
-				qs.addExtra(res.TotalBilledMs) // lost the race
+			if win.TryResolve(hedgeOut{res: res, backup: isBackup}) {
+				if isBackup {
+					sp.SetAttr("hedge", "won-backup")
+				} else {
+					sp.SetAttr("hedge", "won-primary")
+				}
+				return
 			}
+			sp.SetAttr("hedge", "lost")
+			qs.addExtra(res.TotalBilledMs) // lost the race
 		})
 	}
-	watch(primary, false)
-	watch(backup, true)
+	watch(primary, psp, false)
+	watch(backup, bsp, true)
 
 	var out hedgeOut
 	var werr error
@@ -245,39 +283,67 @@ func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int,
 			// Nobody answered in time: abandon both. Failing the race
 			// promise routes their eventual completions to addExtra.
 			win.TryFail(errHedgeAbandoned)
-			return platform.InvokeResult{}, fmt.Errorf("%s: %w", name, ErrDeadline)
+			werr = fmt.Errorf("%s: %w", name, ErrDeadline)
+			endAttempt(asp, werr)
+			return platform.InvokeResult{}, werr
 		}
 	} else {
 		out, werr = win.Wait(proc)
 	}
 	if werr != nil {
+		endAttempt(asp, werr)
 		return platform.InvokeResult{}, werr
 	}
 	if out.backup {
 		qs.wonHedge()
 		qs.survive()
+		asp.Event("hedge-win")
 	}
+	endAttempt(asp, nil)
 	return out.res, nil
+}
+
+// endAttempt settles an attempt span: mark the failure, then close it.
+func endAttempt(asp *trace.Span, err error) {
+	if err != nil {
+		asp.Fail("", err.Error())
+	}
+	asp.EndSpan()
 }
 
 // launchWorker starts one fork-join worker call. Naive deployments keep the
 // original direct InvokeAsync; resilient ones drive callWorker from a
 // spawned caller process so retries and hedges of different partitions
 // overlap in time, exactly like the original fork.
-func (d *Deployment) launchWorker(ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats) *simnet.Promise[platform.InvokeResult] {
+// It returns the promise together with the call's span (the invocation span
+// on the naive path), so a failing fork-join round can mark still-running
+// siblings abandoned.
+func (d *Deployment) launchWorker(ctx *platform.Ctx, gi, part int, req platform.Payload, qs *queryStats, gsp *trace.Span) (*simnet.Promise[platform.InvokeResult], *trace.Span) {
 	if !d.opts.resilient() {
-		return ctx.InvokeAsync(d.workerName(gi, part), req)
+		return ctx.InvokeAsyncSpan(d.workerName(gi, part), req, gsp)
 	}
+	csp := gsp.Childf(trace.KindCall, "call:g%d.p%d", gi, part)
 	pr := simnet.NewPromise[platform.InvokeResult](d.p.Env())
 	d.p.Env().Go("call:"+d.workerName(gi, part), func(proc *simnet.Proc) {
-		res, err := d.callWorker(proc, ctx, gi, part, req, qs)
+		res, err := d.callWorkerSpan(proc, ctx, gi, part, req, qs, csp)
 		if err != nil {
 			pr.Fail(err)
 			return
 		}
 		pr.Resolve(res)
 	})
-	return pr
+	return pr, csp
+}
+
+// abandonUnsettled marks the spans of still-unsettled sibling worker calls:
+// their caller stopped waiting (the round already failed), so they settle
+// after their parent ends — which trace invariants only accept when marked.
+func abandonUnsettled(promises []*simnet.Promise[platform.InvokeResult], spans []*trace.Span) {
+	for i, pr := range promises {
+		if _, _, ok := pr.Poll(); !ok {
+			spans[i].SetAttr("abandoned", "sibling-failure")
+		}
+	}
 }
 
 // fallbackKey names the object-storage copy of a group's weights kept for
@@ -291,8 +357,11 @@ func (d *Deployment) fallbackKey(gi int) string {
 // weights from object storage (charged at storage speed) and executes the
 // group locally. Real-mode outputs are computed by the same kernels, so the
 // result stays bitwise identical to the healthy path.
-func (d *Deployment) fallbackLocal(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor, qs *queryStats) (*tensor.Tensor, error) {
+func (d *Deployment) fallbackLocal(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor, qs *queryStats, gsp *trace.Span) (*tensor.Tensor, error) {
+	fsp := gsp.Child(trace.KindFallback, "fallback")
 	if _, err := ctx.StorageGet(d.fallbackKey(gi)); err != nil {
+		fsp.Fail("", err.Error())
+		fsp.EndSpan()
 		return nil, err
 	}
 	qs.fellBack()
@@ -300,8 +369,13 @@ func (d *Deployment) fallbackLocal(ctx *platform.Ctx, gi int, gr *groupRuntime, 
 	d.computeScaled(ctx, gr, 1.0)
 	if d.mode == Real {
 		restore := d.opts.kernelScope()
-		defer restore()
-		return partition.ForwardChain(gr.units, in)
+		restoreObs := observeOps(fsp)
+		out, err := partition.ForwardChain(gr.units, in)
+		restoreObs()
+		restore()
+		fsp.EndSpan()
+		return out, err
 	}
+	fsp.EndSpan()
 	return nil, nil
 }

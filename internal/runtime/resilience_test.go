@@ -352,3 +352,120 @@ func TestNaivePathUnchangedByResilienceLayer(t *testing.T) {
 		}
 	})
 }
+
+// TestResilienceCountersCombined is the table-driven satellite: with retries
+// AND hedging enabled together, each fault regime must surface through the
+// right Result.Resilience counters, and the cross-counter invariants must
+// hold in every regime.
+func TestResilienceCountersCombined(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults platform.FaultProfile
+		seed   int64
+		extra  []DeployOption
+		check  func(t *testing.T, agg Resilience, served int)
+	}{
+		{
+			// Crashed invocations are re-tried and absorbed; the hedge
+			// trigger stays armed but crashes, not stragglers, dominate.
+			name:   "retry-win",
+			faults: platform.FaultProfile{FailureProb: 0.25},
+			seed:   31,
+			check: func(t *testing.T, agg Resilience, served int) {
+				if agg.Retries == 0 {
+					t.Error("25% crashes with a retry budget must record retries")
+				}
+				if agg.FaultsSurvived == 0 {
+					t.Error("absorbed crashes must count as faults survived")
+				}
+				if agg.Fallbacks != 0 {
+					t.Errorf("no fallback configured, got %d", agg.Fallbacks)
+				}
+				if agg.ExtraBilledMs == 0 {
+					t.Error("failed attempts bill partial work; ExtraBilledMs must be positive")
+				}
+			},
+		},
+		{
+			// 10x stragglers: backups fire past the latency percentile and
+			// win races; retries stay rare.
+			name:   "hedge-win",
+			faults: platform.FaultProfile{StragglerProb: 0.3, StragglerFactor: 10},
+			seed:   11,
+			check: func(t *testing.T, agg Resilience, served int) {
+				if agg.Hedges == 0 {
+					t.Error("30% 10x stragglers must trigger hedges")
+				}
+				if agg.HedgesWon == 0 {
+					t.Error("backups must win races against 10x stragglers")
+				}
+				if agg.Fallbacks != 0 {
+					t.Errorf("no fallback configured, got %d", agg.Fallbacks)
+				}
+				if agg.ExtraBilledMs == 0 {
+					t.Error("hedge losers must surface as ExtraBilledMs")
+				}
+			},
+		},
+		{
+			// Past-budget failures on the DimNone group degrade to the
+			// master-local fallback.
+			name:   "fallback",
+			faults: platform.FaultProfile{FailureProb: 0.6},
+			seed:   21,
+			extra:  []DeployOption{WithMasterFallback()},
+			check: func(t *testing.T, agg Resilience, served int) {
+				if served == 0 {
+					t.Fatal("no query completed at all")
+				}
+				if agg.Fallbacks == 0 {
+					t.Errorf("0 fallbacks in %d served queries at 60%% failure", served)
+				}
+				if agg.Retries == 0 || agg.FaultsSurvived == 0 {
+					t.Errorf("retries=%d survived=%d; fallback regime must also retry", agg.Retries, agg.FaultsSurvived)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			units := tinyCNN(t)
+			plan := resilPlan(t, units)
+			cfg := platform.AWSLambda()
+			cfg.Faults = tc.faults
+			var agg Resilience
+			served := 0
+			runClient(t, cfg, tc.seed, func(p *platform.Platform, proc *simnet.Proc) {
+				opts := append([]DeployOption{WithRetries(3, 5), WithHedging(80)}, tc.extra...)
+				d, err := Deploy(p, units, plan, ShapeOnly, opts...)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := d.Prewarm(); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 80; i++ {
+					res, err := d.Serve(proc, nil)
+					if err != nil {
+						continue // budget exhausted this query; counters still meaningful
+					}
+					served++
+					agg.add(res.Resilience)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			if agg.HedgesWon > agg.Hedges {
+				t.Errorf("HedgesWon %d > Hedges %d", agg.HedgesWon, agg.Hedges)
+			}
+			if agg.FaultsSurvived < agg.Fallbacks {
+				t.Errorf("FaultsSurvived %d < Fallbacks %d (every fallback is a survived fault)", agg.FaultsSurvived, agg.Fallbacks)
+			}
+			tc.check(t, agg, served)
+			t.Logf("%s: served=%d %+v", tc.name, served, agg)
+		})
+	}
+}

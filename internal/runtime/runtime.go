@@ -13,13 +13,17 @@ package runtime
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"sync/atomic"
 
+	"gillis/internal/nn"
 	"gillis/internal/partition"
 	"gillis/internal/platform"
 	"gillis/internal/profile"
 	"gillis/internal/simnet"
 	"gillis/internal/tensor"
+	"gillis/internal/trace"
 )
 
 // ExecMode selects how workers execute their partitions.
@@ -166,6 +170,11 @@ func (d *Deployment) workerName(group, part int) string {
 	return fmt.Sprintf("%s-g%d-p%d", d.prefix, group, part)
 }
 
+// Prefix returns the deployment's unique function-name prefix. It is
+// process-order dependent (a global deployment counter); golden-trace tests
+// strip it from serialized traces to stay stable across test orderings.
+func (d *Deployment) Prefix() string { return d.prefix }
+
 // Prewarm warms the master and one instance of every worker function,
 // modeling Gillis's periodic warm-up pings (§III-A).
 func (d *Deployment) Prewarm() error {
@@ -219,6 +228,31 @@ type masterResp struct {
 // itself — a crashed or evicted master is re-invoked with the same input,
 // so Real-mode outputs are unaffected.
 func (d *Deployment) Serve(proc *simnet.Proc, input *tensor.Tensor) (Result, error) {
+	return d.serve(proc, input, nil)
+}
+
+// ServeTraced is Serve with query-level tracing: it records a span tree
+// rooted at the query — invocations with their cold-start/transfer/execution
+// phases, fork-join rounds, worker calls with retries and hedges, per-span
+// billed-ms attribution — against the simulation's virtual clock. The trace
+// is complete once the simulation drains (late-settling abandoned work still
+// closes its spans after the query returns).
+func (d *Deployment) ServeTraced(proc *simnet.Proc, input *tensor.Tensor) (Result, *trace.Trace, error) {
+	tr := trace.New("query", d.p.Env().Stamp)
+	root := tr.Root()
+	res, err := d.serve(proc, input, root)
+	if err != nil {
+		root.Fail("", err.Error())
+	} else if d.mode == Real && res.Output != nil {
+		// Pin the Real-mode output in the trace: bitwise-deterministic
+		// kernels yield the same digest at any kernel parallelism.
+		root.SetAttr("output-digest", fmt.Sprintf("%016x", tensorDigest(res.Output)))
+	}
+	root.EndSpan()
+	return res, tr, err
+}
+
+func (d *Deployment) serve(proc *simnet.Proc, input *tensor.Tensor, root *trace.Span) (Result, error) {
 	payload := platform.Payload{Bytes: tensor.SizeBytes(d.units[0].InShape)}
 	if d.mode == Real {
 		if input == nil {
@@ -233,9 +267,10 @@ func (d *Deployment) Serve(proc *simnet.Proc, input *tensor.Tensor) (Result, err
 	for attempt := 0; attempt <= d.opts.retries; attempt++ {
 		if attempt > 0 {
 			clientRetries++
+			root.Event("client-retry", "attempt", strconv.Itoa(attempt))
 			proc.Sleep(msToDur(d.opts.backoff(attempt)))
 		}
-		res, err := d.p.InvokeFrom(proc, d.Master, payload)
+		res, err := d.p.InvokeFromSpan(proc, d.Master, payload, root)
 		if err != nil {
 			extra += platform.BilledMsOf(err)
 			lastErr = err
@@ -261,9 +296,51 @@ func (d *Deployment) Serve(proc *simnet.Proc, input *tensor.Tensor) (Result, err
 			}
 			out.Output = mr.output
 		}
+		d.recordQueryMetrics(out)
 		return out, nil
 	}
 	return Result{}, lastErr
+}
+
+// recordQueryMetrics aggregates one served query into the platform's metrics
+// registry (shared across queries, and across platforms via UseMetrics).
+func (d *Deployment) recordQueryMetrics(out Result) {
+	reg := d.p.Metrics()
+	reg.Counter("runtime.queries").Inc()
+	r := out.Resilience
+	reg.Counter("runtime.retries").Add(int64(r.Retries))
+	reg.Counter("runtime.hedges").Add(int64(r.Hedges))
+	reg.Counter("runtime.hedge_wins").Add(int64(r.HedgesWon))
+	reg.Counter("runtime.fallbacks").Add(int64(r.Fallbacks))
+	reg.Counter("runtime.faults_survived").Add(int64(r.FaultsSurvived))
+	reg.Counter("runtime.extra_billed_ms").Add(r.ExtraBilledMs)
+	reg.Histogram("runtime.query_latency_ms").Observe(out.LatencyMs)
+	reg.Histogram("runtime.query_billed_ms").Observe(float64(out.BilledMs))
+}
+
+// tensorDigest is a deterministic FNV-1a over the tensor's float bits.
+func tensorDigest(t *tensor.Tensor) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range t.Data() {
+		b := math.Float32bits(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(b >> s))
+			h *= prime
+		}
+	}
+	return h
+}
+
+// observeOps reports a per-operator kernel event into sp for every operator
+// forward executed while it is installed. It returns the restore function.
+// Install it only around pure Go forwards (no virtual-time sleeps), so the
+// scoped process-wide hook never spans a scheduling point.
+func observeOps(sp *trace.Span) (restore func()) {
+	if sp == nil {
+		return func() {}
+	}
+	return nn.SetObserver(func(op nn.Op) { sp.Event("op:" + op.Name()) })
 }
 
 // masterHandler orchestrates the fork-join rounds (Fig. 4).
@@ -280,10 +357,14 @@ func (d *Deployment) masterHandler(ctx *platform.Ctx, payload platform.Payload) 
 	groupMs := make([]float64, 0, len(d.groups))
 	for gi, gr := range d.groups {
 		before := ctx.Proc().Now()
-		next, err := d.runGroup(ctx, gi, gr, cur, qs)
+		gsp := ctx.Span().Childf(trace.KindGroup, "group%d", gi)
+		next, err := d.runGroup(ctx, gi, gr, cur, qs, gsp)
 		if err != nil {
+			gsp.Fail("", err.Error())
+			gsp.EndSpan()
 			return platform.Payload{}, err
 		}
+		gsp.EndSpan()
 		groupMs = append(groupMs, float64(ctx.Proc().Now()-before)/1e6)
 		cur = next
 	}
@@ -292,17 +373,23 @@ func (d *Deployment) masterHandler(ctx *platform.Ctx, payload platform.Payload) 
 }
 
 // runGroup executes one layer group from the master's perspective.
-func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor, qs *queryStats) (*tensor.Tensor, error) {
+func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *tensor.Tensor, qs *queryStats, gsp *trace.Span) (*tensor.Tensor, error) {
 	opt := gr.gp.Option
 
 	// Whole group on the master: local execution.
 	if opt.Dim == partition.DimNone && gr.gp.OnMaster {
+		csp := gsp.Child(trace.KindCompute, "master-compute")
 		d.computeScaled(ctx, gr, 1.0)
 		if d.mode == Real {
 			restore := d.opts.kernelScope()
-			defer restore()
-			return partition.ForwardChain(gr.units, in)
+			restoreObs := observeOps(csp)
+			out, err := partition.ForwardChain(gr.units, in)
+			restoreObs()
+			restore()
+			csp.EndSpan()
+			return out, err
 		}
+		csp.EndSpan()
 		return nil, nil
 	}
 
@@ -313,10 +400,10 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 		if d.mode == Real {
 			req.Data = in
 		}
-		res, err := d.callWorker(ctx.Proc(), ctx, gi, 0, req, qs)
+		res, err := d.callWorker(ctx.Proc(), ctx, gi, 0, req, qs, gsp)
 		if err != nil {
 			if d.opts.fallback {
-				return d.fallbackLocal(ctx, gi, gr, in, qs)
+				return d.fallbackLocal(ctx, gi, gr, in, qs, gsp)
 			}
 			return nil, err
 		}
@@ -330,54 +417,74 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 		firstWorker = 1
 	}
 	promises := make([]*simnet.Promise[platform.InvokeResult], 0, opt.Parts-firstWorker)
+	callSpans := make([]*trace.Span, 0, opt.Parts-firstWorker)
 	for part := firstWorker; part < opt.Parts; part++ {
 		req := platform.Payload{Bytes: gr.partIn[part]}
 		if d.mode == Real {
 			slab, err := d.partInput(gr, part, in)
 			if err != nil {
+				abandonUnsettled(promises, callSpans)
 				return nil, err
 			}
 			req.Data = slab
 		}
-		promises = append(promises, d.launchWorker(ctx, gi, part, req, qs))
+		pr, csp := d.launchWorker(ctx, gi, part, req, qs, gsp)
+		promises = append(promises, pr)
+		callSpans = append(callSpans, csp)
+	}
+	// When the round fails, the master stops waiting: sibling calls still in
+	// flight settle after the group span ends, which trace invariants only
+	// accept once marked abandoned.
+	fail := func(err error) (*tensor.Tensor, error) {
+		abandonUnsettled(promises, callSpans)
+		return nil, err
 	}
 
 	outs := make([]*tensor.Tensor, opt.Parts)
 	if gr.gp.OnMaster {
+		csp := gsp.Child(trace.KindCompute, "master-part0")
 		d.computeScaled(ctx, gr, flopFrac(gr, 0))
 		if d.mode == Real {
 			restore := d.opts.kernelScope()
+			restoreObs := observeOps(csp)
 			out, err := d.execPart(gr, 0, in)
+			restoreObs()
 			restore()
 			if err != nil {
-				return nil, err
+				csp.EndSpan()
+				return fail(err)
 			}
 			outs[0] = out
 		}
+		csp.EndSpan()
 	}
 	for i, pr := range promises {
 		res, err := pr.Wait(ctx.Proc())
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if d.mode == Real {
 			t, err := d.tensorOf(res.Resp)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			outs[firstWorker+i] = t
 		}
 	}
 	// Reassembly is memory-bandwidth work on the master.
+	rsp := gsp.Child(trace.KindCompute, "reassemble")
 	ctx.ComputeOp(0, gr.outBytes)
 	if d.mode != Real {
+		rsp.EndSpan()
 		return nil, nil
 	}
 	dim := 1 // spatial: concatenate rows
 	if opt.Dim == partition.DimChannel {
 		dim = 0
 	}
-	return tensor.ConcatDim(dim, outs...)
+	out, err := tensor.ConcatDim(dim, outs...)
+	rsp.EndSpan()
+	return out, err
 }
 
 // workerHandler computes one partition of one group.
@@ -392,7 +499,9 @@ func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload plat
 				return platform.Payload{}, fmt.Errorf("runtime: worker got %T", payload.Data)
 			}
 			restore := d.opts.kernelScope()
+			restoreObs := observeOps(ctx.Span())
 			out, err := partition.ForwardChain(gr.units, in)
+			restoreObs()
 			restore()
 			if err != nil {
 				return platform.Payload{}, err
@@ -410,7 +519,9 @@ func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload plat
 			return platform.Payload{}, fmt.Errorf("runtime: worker got %T", payload.Data)
 		}
 		restore := d.opts.kernelScope()
+		restoreObs := observeOps(ctx.Span())
 		out, err := d.execPartFromSlab(gr, part, in)
+		restoreObs()
 		restore()
 		if err != nil {
 			return platform.Payload{}, err

@@ -25,6 +25,7 @@ type Env struct {
 	now      time.Duration
 	events   eventHeap
 	seq      int64
+	stampSeq int64
 	runnable int // processes currently executing (not parked)
 	parked   int // processes parked on promises (not on the clock)
 	started  bool
@@ -61,6 +62,18 @@ func (e *Env) Now() time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.now
+}
+
+// Stamp returns the current virtual time together with a monotonically
+// increasing sequence number that totally orders stamps taken at the same
+// instant. Because at most one process executes at any instant, the
+// sequence is deterministic for a fixed simulation; the tracing subsystem
+// uses it to order same-time span boundaries reproducibly.
+func (e *Env) Stamp() (time.Duration, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stampSeq++
+	return e.now, e.stampSeq
 }
 
 // Proc is the handle a running process uses to interact with the clock.

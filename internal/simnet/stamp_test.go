@@ -1,0 +1,43 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStampOrdersSameInstant(t *testing.T) {
+	env := NewEnv()
+	type stamp struct {
+		at  time.Duration
+		seq int64
+	}
+	var got []stamp
+	env.Go("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			now, seq := env.Stamp()
+			got = append(got, stamp{now, seq})
+		}
+		p.Sleep(time.Millisecond)
+		now, seq := env.Stamp()
+		got = append(got, stamp{now, seq})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d stamps", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if got[i].at != 0 {
+			t.Errorf("stamp %d at %v, want 0", i, got[i].at)
+		}
+	}
+	if got[3].at != time.Millisecond {
+		t.Errorf("stamp 3 at %v, want 1ms", got[3].at)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].seq <= got[i-1].seq {
+			t.Fatalf("sequence numbers must strictly increase: %v", got)
+		}
+	}
+}

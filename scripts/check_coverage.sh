@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Per-package test-coverage gate.
+#
+#   scripts/check_coverage.sh           compare against COVERAGE_BASELINE
+#   scripts/check_coverage.sh -update   rewrite COVERAGE_BASELINE from a
+#                                       fresh run (floors = measured - 0.5pt)
+#
+# COVERAGE_BASELINE holds one "import/path floor%" line per package with
+# tests. The gate fails when any listed package measures below its floor, or
+# when a listed package disappears from the test output. New packages are
+# not gated until the baseline is regenerated.
+set -u
+cd "$(dirname "$0")/.."
+baseline=COVERAGE_BASELINE
+
+out="$(go test -count=1 -cover ./... 2>&1)"
+status=$?
+echo "$out"
+if [ $status -ne 0 ]; then
+	echo "coverage: test run failed" >&2
+	exit $status
+fi
+
+# "ok <pkg> <time> coverage: <pct>% of statements" -> "<pkg> <pct>"
+measured="$(echo "$out" | awk '$1 == "ok" {
+	for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%/, "", $i); print $2, $i }
+}')"
+
+if [ "${1:-}" = "-update" ]; then
+	{
+		echo "# Per-package coverage floors (percent), checked by scripts/check_coverage.sh."
+		echo "# Regenerate with: ./scripts/check_coverage.sh -update"
+		echo "$measured" | awk '{ printf "%s %.1f\n", $1, ($2 - 0.5 < 0 ? 0 : $2 - 0.5) }' | sort
+	} > "$baseline"
+	echo "wrote $baseline"
+	exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+	echo "coverage: missing $baseline (run ./scripts/check_coverage.sh -update)" >&2
+	exit 1
+fi
+
+fail=0
+while read -r pkg floor; do
+	case "$pkg" in '' | '#'*) continue ;; esac
+	pct="$(echo "$measured" | awk -v p="$pkg" '$1 == p { print $2 }')"
+	if [ -z "$pct" ]; then
+		echo "coverage: package $pkg in baseline but absent from test output" >&2
+		fail=1
+		continue
+	fi
+	below="$(awk -v a="$pct" -v b="$floor" 'BEGIN { print (a + 0 < b + 0) ? 1 : 0 }')"
+	if [ "$below" = 1 ]; then
+		echo "coverage: $pkg at $pct% fell below baseline floor $floor%" >&2
+		fail=1
+	fi
+done < "$baseline"
+
+if [ $fail -eq 0 ]; then
+	echo "coverage: all packages at or above their baseline floors"
+fi
+exit $fail

@@ -1,16 +1,29 @@
-# CI entry points. `make ci` is what a pre-merge check runs: vet, build,
-# full test suite, the race detector on the concurrency-bearing packages
-# (the kernel execution engine, the simulation kernel, the platform and the
-# serving runtime), and the seeded chaos tests that guard the resilience
-# layer.
+# CI entry points. `make ci` is what a pre-merge check runs: lint (gofmt,
+# go vet, and the gillis-vet static-analysis suite), build, full test
+# suite, the race detector on the concurrency-bearing packages (the kernel
+# execution engine, the simulation kernel, the platform and the serving
+# runtime), and the seeded chaos tests that guard the resilience layer.
 
 GO ?= go
 RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet \
-	./internal/bench ./internal/trace ./internal/trace/tracetest
+	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis
 
-.PHONY: ci vet build test race chaos cover bench-kernels bench-chaos
+.PHONY: ci lint vet build test race chaos cover bench-kernels bench-chaos
 
-ci: vet build test race chaos
+ci: lint build test race chaos
+
+# lint fails on any unformatted file, then runs go vet and the project's
+# own analyzers (determinism, map-order, nil-safety, float-accumulation,
+# dropped-error invariants — see DESIGN.md §9).
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/gillis-vet ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,71 @@
+// Command gillis-vet runs the project's custom static-analysis suite over
+// the repository: the determinism, ordering, nil-safety, and error-handling
+// invariants the golden-trace and chaos tests can only catch dynamically.
+//
+// Usage:
+//
+//	gillis-vet [-list] [packages...]
+//
+// Packages are directory patterns ("./...", "./internal/trace"); the
+// default is "./...". Exit status is 1 when any diagnostic is reported.
+// Findings are suppressed per line with a justified
+// `//gillis:allow <analyzer> <reason>` comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gillis/internal/analysis"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gillis-vet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the suite and returns the process exit code: 0 clean, 1 when
+// diagnostics were reported.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("gillis-vet", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		return 2, err
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "gillis-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunDeterministicOrder checks that diagnostics come out sorted by
+// position regardless of analyzer registration order.
+func TestRunDeterministicOrder(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "gillis", "internal", "platform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := Run(pkgs, []*Analyzer{AnalyzerNodeterm, AnalyzerErrdrop})
+	reversed := Run(pkgs, []*Analyzer{AnalyzerErrdrop, AnalyzerNodeterm})
+	if len(forward) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	if len(forward) != len(reversed) {
+		t.Fatalf("analyzer order changed finding count: %d vs %d", len(forward), len(reversed))
+	}
+	for i := range forward {
+		if forward[i] != reversed[i] {
+			t.Fatalf("diagnostic %d differs across analyzer orderings:\n%s\n%s", i, forward[i], reversed[i])
+		}
+	}
+	for i := 1; i < len(forward); i++ {
+		a, b := forward[i-1].Pos, forward[i].Pos
+		if a.Filename == b.Filename && a.Line > b.Line {
+			t.Fatalf("diagnostics out of order: %s before %s", forward[i-1], forward[i])
+		}
+	}
+}
+
+// TestSuppression checks same-line and line-above allow comments, and that
+// an allow for one analyzer does not silence another.
+func TestSuppression(t *testing.T) {
+	allowed := map[allowKey]bool{
+		{"f.go", 10, "nodeterm"}: true,
+	}
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "f.go", Line: line}}
+	}
+	if !suppressed(allowed, mk(10, "nodeterm")) {
+		t.Error("same-line allow not honored")
+	}
+	if !suppressed(allowed, mk(11, "nodeterm")) {
+		t.Error("line-above allow not honored")
+	}
+	if suppressed(allowed, mk(12, "nodeterm")) {
+		t.Error("allow leaked two lines down")
+	}
+	if suppressed(allowed, mk(10, "maporder")) {
+		t.Error("allow for nodeterm silenced maporder")
+	}
+	if suppressed(allowed, mk(10, "nodeterm")) != true || suppressed(allowed, Diagnostic{Analyzer: "nodeterm", Pos: token.Position{Filename: "g.go", Line: 10}}) {
+		t.Error("allow crossed files")
+	}
+}
+
+// TestDiagnosticString pins the canonical rendering the CLI prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "nodeterm",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "msg",
+	}
+	if got, want := d.String(), "x.go:3:7: nodeterm: msg"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestLoadErrors exercises the loader's failure modes.
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("testdata/no-such-dir"); err == nil {
+		t.Error("expected error for missing directory")
+	}
+	if _, err := Load("testdata/nodeterm.golden"); err == nil {
+		t.Error("expected error for non-directory pattern")
+	}
+}
+
+// TestLoadSkipsTestdataInWalk checks that "./..." never descends into
+// testdata, so fixtures with deliberate violations cannot fail a real run.
+func TestLoadSkipsTestdataInWalk(t *testing.T) {
+	pkgs, err := Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from ./..., want just this one", len(pkgs))
+	}
+	if pkgs[0].Path != "gillis/internal/analysis" {
+		t.Fatalf("unexpected package %q", pkgs[0].Path)
+	}
+	if got := Run(pkgs, All()); len(got) != 0 {
+		t.Fatalf("the analysis package itself has findings:\n%v", got)
+	}
+}
+
+// TestAllStable checks that the registry is alphabetical, which the -list
+// output and the docs rely on.
+func TestAllStable(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run", a.Name)
+		}
+	}
+	if got, want := strings.Join(names, ","), "errdrop,floatacc,maporder,niltrace,nodeterm"; got != want {
+		t.Fatalf("All() = %s, want %s", got, want)
+	}
+}

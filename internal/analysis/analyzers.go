@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the full gillis-vet suite in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerErrdrop,
+		AnalyzerFloatacc,
+		AnalyzerMaporder,
+		AnalyzerNiltrace,
+		AnalyzerNodeterm,
+	}
+}

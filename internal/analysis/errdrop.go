@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerErrdrop flags statement-level calls in internal/ packages whose
+// error result is silently discarded. The platform's billing accounting and
+// the resilience layer both communicate partial state through errors
+// (InvokeError carries billed-ms for failed invocations); dropping one on
+// the floor is how billing attribution silently drifts. Explicit `_ =`
+// assignments and defers are left alone — both are visible decisions.
+var AnalyzerErrdrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags expression-statement calls that discard an error result in " +
+		"internal/ packages; handle it, return it, or assign it to _ explicitly",
+	Run: runErrdrop,
+}
+
+func runErrdrop(pass *Pass) {
+	if !hasPathPrefix(pass.Pkg.Path(), "gillis/internal") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if errdropExempt(pass, call) {
+				return true
+			}
+			tv, ok := pass.Info.Types[call]
+			if !ok || !returnsError(tv.Type) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is discarded; handle it or assign it to _ explicitly",
+				callName(call))
+			return true
+		})
+	}
+}
+
+// errdropExempt exempts fmt's printers (their errors reflect broken sinks
+// the callers already own) and the infallible in-memory writers.
+func errdropExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkgNameOf(pass.Info, sel) == "fmt" {
+		return true
+	}
+	if s, ok := pass.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if tn, ok := recv.(*types.Named); ok && tn.Obj().Pkg() != nil {
+			full := tn.Obj().Pkg().Path() + "." + tn.Obj().Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsError reports whether t is error or a tuple containing an error.
+func returnsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "call"
+}

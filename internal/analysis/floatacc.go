@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatacc flags floating-point compound accumulation (+=, -=, *=,
+// /=) into variables captured from outside a go-spawned closure. Float
+// addition is not associative, so concurrent accumulation order changes the
+// result between runs and parallelism levels — the exact bug class
+// internal/par's disjoint-output discipline exists to prevent. par itself
+// is the blessed home for reductions and is skipped.
+var AnalyzerFloatacc = &Analyzer{
+	Name: "floatacc",
+	Doc: "flags float += accumulation into captured variables inside " +
+		"go-spawned closures; racing non-associative adds break bitwise " +
+		"determinism — reduce through internal/par's disjoint-range helpers",
+	Run: runFloatacc,
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+func runFloatacc(pass *Pass) {
+	if hasPathPrefix(pass.Pkg.Path(), "gillis/internal/par") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// Inspect every closure in the go statement: `go func(){...}()`
+			// and closures passed as arguments to the spawned call.
+			ast.Inspect(gostmt.Call, func(m ast.Node) bool {
+				lit, ok := m.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkClosure(pass, lit)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// checkClosure reports float compound-assignments inside lit whose target
+// is declared outside the closure (i.e. shared state).
+func checkClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[as.Tok] || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		tv, ok := pass.Info.Types[lhs]
+		if !ok || !isFloat(tv.Type) {
+			return true
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return true
+		}
+		obj := pass.Info.ObjectOf(root)
+		if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"float accumulation `%s %s ...` into a variable captured by a go-spawned closure; accumulation order is scheduling-dependent, use internal/par's disjoint-range reduction",
+			root.Name, as.Tok)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden diagnostic files")
+
+// goldenCases maps each analyzer to its fixture package under testdata/src.
+// Fixture directories under "gillis/..." exercise the analyzers'
+// import-path gating via the loader's testdata/src remapping.
+var goldenCases = []struct {
+	analyzer *Analyzer
+	fixture  string
+}{
+	{AnalyzerErrdrop, "gillis/internal/errdrop"},
+	{AnalyzerFloatacc, "floatacc"},
+	{AnalyzerMaporder, "maporder"},
+	{AnalyzerNiltrace, "gillis/internal/trace"},
+	{AnalyzerNodeterm, "gillis/internal/platform"},
+}
+
+// TestGoldenDiagnostics pins each analyzer's findings over its fixture
+// package byte-for-byte, the same way the runtime golden trace pins the
+// quickstart span tree.
+func TestGoldenDiagnostics(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(tc.fixture)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			var sb strings.Builder
+			for _, d := range Run(pkgs, []*Analyzer{tc.analyzer}) {
+				d.Pos.Filename = filepath.Base(d.Pos.Filename)
+				sb.WriteString(d.String())
+				sb.WriteString("\n")
+			}
+			got := sb.String()
+
+			goldenPath := filepath.Join("testdata", tc.analyzer.Name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestFixturePathRemap guards the testdata/src import-path remapping the
+// golden fixtures rely on.
+func TestFixturePathRemap(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "gillis", "internal", "platform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pkgs[0].Path; got != "gillis/internal/platform" {
+		t.Fatalf("remapped path = %q, want gillis/internal/platform", got)
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMaporder flags range statements over maps whose body builds
+// ordered output — appending to a slice declared outside the loop, or
+// writing to an io.Writer-shaped sink — with no sort call after the loop in
+// the same function. Go randomizes map iteration order, so such loops
+// produce run-to-run-different output: the exact failure mode the repo's
+// byte-pinned golden tables and traces exist to catch, surfaced statically.
+var AnalyzerMaporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration that appends to an outer slice or writes to " +
+		"an output sink without an intervening sort; map order is randomized " +
+		"per run, which breaks byte-stable tables, traces, and JSON baselines",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		// Collect function bodies so a range statement can be checked for a
+		// sort following it within its own function.
+		var funcs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			sink := orderedSink(pass, rng)
+			if sink == "" {
+				return true
+			}
+			if sortedAfter(pass, funcs, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration %s in randomized order with no sort after the loop; iterate sorted keys or sort the result",
+				sink)
+			return true
+		})
+	}
+}
+
+// orderedSink describes the first order-sensitive output the range body
+// produces ("" when the body is order-insensitive).
+func orderedSink(pass *Pass, rng *ast.RangeStmt) string {
+	var desc string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" || len(call.Args) == 0 {
+					continue
+				}
+				target := rootIdent(call.Args[0])
+				if target == nil {
+					continue
+				}
+				obj := pass.Info.ObjectOf(target)
+				// Appends into a slice that outlives the loop body; slices
+				// declared inside the body are rebuilt per iteration and
+				// carry no cross-iteration order.
+				if obj != nil && obj.Pos() < rng.Pos() {
+					desc = "appends to " + target.Name
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if pkgNameOf(pass.Info, sel) == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") {
+					desc = "writes fmt." + sel.Sel.Name + " output"
+				} else if sel.Sel.Name == "Write" || sel.Sel.Name == "WriteString" || sel.Sel.Name == "WriteByte" {
+					desc = "calls " + sel.Sel.Name + " on an output sink"
+				}
+			}
+		}
+		return desc == ""
+	})
+	return desc
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call appears after
+// the range statement inside the innermost function containing it.
+func sortedAfter(pass *Pass, funcs []ast.Node, rng *ast.RangeStmt) bool {
+	var encl ast.Node
+	for _, fn := range funcs {
+		if fn.Pos() <= rng.Pos() && rng.End() <= fn.End() {
+			if encl == nil || fn.Pos() > encl.Pos() {
+				encl = fn
+			}
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch pkg := pkgNameOf(pass.Info, sel); {
+			case pkg == "sort":
+				sorted = true
+			case pkg == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"):
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerNiltrace enforces internal/trace's nil-safety contract: every
+// exported pointer-receiver method on *Span must begin with a nil-receiver
+// guard, because the untraced serving path threads nil spans through every
+// hot call site and relies on each method degrading to a no-op.
+var AnalyzerNiltrace = &Analyzer{
+	Name: "niltrace",
+	Doc: "requires every exported *Span method in internal/trace to open " +
+		"with `if s == nil` so the untraced path stays a no-op instead of a panic",
+	Run: runNiltrace,
+}
+
+func runNiltrace(pass *Pass) {
+	if !hasPathPrefix(pass.Pkg.Path(), "gillis/internal/trace") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			base, ok := star.X.(*ast.Ident)
+			if !ok || base.Name != "Span" {
+				continue
+			}
+			if len(recv.Names) == 1 && hasNilGuard(fd.Body, recv.Names[0].Name) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"exported *Span method %s must start with a nil-receiver guard; nil spans are the untraced fast path",
+				fd.Name.Name)
+		}
+	}
+}
+
+// hasNilGuard reports whether the body's first statement is
+// `if <recv> == nil { ... }` (or `nil == <recv>`).
+func hasNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	return (isIdent(cmp.X, recv) && isIdent(cmp.Y, "nil")) ||
+		(isIdent(cmp.X, "nil") && isIdent(cmp.Y, recv))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// clockedPkgs are the packages whose behavior must be a pure function of
+// the simnet virtual clock and the seeds threaded through their APIs. A
+// wall-clock read or an unseeded global RNG draw in any of them breaks the
+// golden quickstart trace, the 100-seed chaos sweeps, and every
+// bitwise-equality kernel test downstream. cmd/ is deliberately absent:
+// front ends may time their own wall-clock progress output.
+var clockedPkgs = []string{
+	"gillis/internal/simnet",
+	"gillis/internal/platform",
+	"gillis/internal/runtime",
+	"gillis/internal/bench",
+	"gillis/internal/trace",
+	"gillis/internal/par",
+	"gillis/internal/nn",
+}
+
+// nodetermBanned maps an import path to the package-level names that read
+// ambient nondeterministic state. For math/rand only the implicit
+// global-RNG entry points are banned; rand.New(rand.NewSource(seed)) is the
+// blessed pattern.
+var nodetermBanned = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTicker": true, "NewTimer": true,
+	},
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "NormFloat64": true,
+		"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+		"Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint32": true, "Uint32N": true,
+		"Uint64": true, "Uint64N": true, "Float32": true, "Float64": true,
+		"NormFloat64": true, "ExpFloat64": true, "Perm": true,
+		"Shuffle": true, "N": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+}
+
+// AnalyzerNodeterm bans ambient-nondeterminism entry points — time.Now,
+// time.Since, the unseeded global math/rand functions, os.Getenv — inside
+// the simnet-clocked packages listed in clockedPkgs.
+var AnalyzerNodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "bans wall-clock reads, unseeded global RNG draws, and environment " +
+		"lookups in simnet-clocked packages, whose outputs must be a pure " +
+		"function of seeds and virtual time",
+	Run: runNodeterm,
+}
+
+func runNodeterm(pass *Pass) {
+	var match string
+	for _, p := range clockedPkgs {
+		if hasPathPrefix(pass.Pkg.Path(), p) {
+			match = p
+			break
+		}
+	}
+	if match == "" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgNameOf(pass.Info, sel)
+			banned, ok := nodetermBanned[path]
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s is nondeterministic; %s is simnet-clocked (derive it from the Env clock or a seeded *rand.Rand)",
+				path, sel.Sel.Name, match)
+			return true
+		})
+	}
+}

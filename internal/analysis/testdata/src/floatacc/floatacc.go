@@ -1,0 +1,67 @@
+// Package floatacc is the floatacc fixture: float accumulation racing
+// inside go-spawned closures versus the safe shapes.
+package floatacc
+
+import "sync"
+
+// BadShared accumulates into a captured float from spawned goroutines.
+func BadShared(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += x // want: captured float accumulation
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// BadIndirect spawns a helper that receives an accumulating closure.
+func BadIndirect(run func(func())) float64 {
+	var total float64
+	go run(func() {
+		total *= 1.5 // want: captured float accumulation
+	})
+	return total
+}
+
+// GoodLocal accumulates into a closure-local variable.
+func GoodLocal(xs []float64, out chan<- float64) {
+	go func() {
+		local := 0.0
+		for _, x := range xs {
+			local += x
+		}
+		out <- local
+	}()
+}
+
+// GoodInt counters are associative; only floats are flagged.
+func GoodInt(n *int, done chan<- struct{}) {
+	go func() {
+		*n += 1
+		done <- struct{}{}
+	}()
+}
+
+// GoodSerial accumulates outside any goroutine.
+func GoodSerial(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// AllowedSingleWriter is safe by construction and says so.
+func AllowedSingleWriter(x float64, done chan<- float64) {
+	var acc float64
+	go func() {
+		//gillis:allow floatacc fixture: single goroutine owns acc until the channel send
+		acc += x
+		done <- acc
+	}()
+}

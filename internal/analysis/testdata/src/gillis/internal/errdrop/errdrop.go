@@ -1,0 +1,46 @@
+// Package errdrop is the errdrop fixture, remapped under gillis/internal/
+// so the analyzer treats it as shipping library code.
+package errdrop
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Flush is a fallible operation whose error matters.
+func Flush() error { return nil }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 0, nil }
+
+// BadDiscard drops errors on the floor both ways.
+func BadDiscard() {
+	Flush() // want: discarded error
+	Pair()  // want: discarded error
+}
+
+// GoodExplicit makes the discard visible.
+func GoodExplicit() {
+	_ = Flush()
+	n, _ := Pair()
+	_ = n
+}
+
+// GoodDefer leaves the idiomatic deferred cleanup alone.
+func GoodDefer(c io.Closer) {
+	defer c.Close()
+}
+
+// GoodExempt exercises the fmt and in-memory-writer exemptions.
+func GoodExempt(w io.Writer) string {
+	var sb strings.Builder
+	sb.WriteString("hello")
+	fmt.Fprintln(w, "table row")
+	return sb.String()
+}
+
+// AllowedFireAndForget documents why the error is ignorable.
+func AllowedFireAndForget() {
+	Flush() //gillis:allow errdrop fixture: best-effort flush, failure is re-tried by the caller
+}

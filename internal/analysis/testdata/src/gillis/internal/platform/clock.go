@@ -1,0 +1,33 @@
+// Package platform is a nodeterm fixture impersonating a simnet-clocked
+// package: the loader remaps testdata/src/<path> to <path>, so this file
+// type-checks as gillis/internal/platform.
+package platform
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad reads ambient nondeterministic state in every way nodeterm bans.
+func Bad() time.Duration {
+	start := time.Now()        // want: wall-clock read
+	n := rand.Intn(10)         // want: global RNG draw
+	_ = os.Getenv("GILLIS_XX") // want: environment lookup
+	_ = n
+	return time.Since(start) // want: wall-clock read
+}
+
+// Good uses the blessed seeded-RNG pattern and virtual durations only.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	d := 5 * time.Millisecond
+	_ = d
+	return rng.Float64()
+}
+
+// Allowed shows a justified suppression on the line above the finding.
+func Allowed() time.Time {
+	//gillis:allow nodeterm fixture demonstrating the suppression syntax
+	return time.Now()
+}

@@ -1,0 +1,56 @@
+// Package trace is the niltrace fixture: a miniature Span with guarded and
+// unguarded methods. The loader remaps it to gillis/internal/trace.
+package trace
+
+// Span mimics the real span: nil receivers are the untraced fast path.
+type Span struct {
+	Name   string
+	events []string
+}
+
+// Trace is here to prove non-Span receivers are ignored.
+type Trace struct{ spans []*Span }
+
+// Good begins with the required nil guard.
+func (s *Span) Good(name string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, name)
+}
+
+// GoodFlipped guards with the operands reversed.
+func (s *Span) GoodFlipped() int {
+	if nil == s {
+		return 0
+	}
+	return len(s.events)
+}
+
+// BadUnguarded touches the receiver without a guard.
+func (s *Span) BadUnguarded() int {
+	return len(s.events) // want: missing nil guard
+}
+
+// BadLateGuard guards, but not as the first statement.
+func (s *Span) BadLateGuard() int {
+	n := 0
+	if s == nil {
+		return n
+	}
+	return len(s.events)
+}
+
+// internalHelper is unexported: callers inside the package own nil checks.
+func (s *Span) internalHelper() int { return len(s.events) }
+
+// ByValue has a value receiver and cannot be nil.
+func (s Span) ByValue() string { return s.Name }
+
+// Len is on *Trace, outside niltrace's contract.
+func (t *Trace) Len() int { return len(t.spans) }
+
+// AllowedConstructorish documents why its guard lives elsewhere.
+//
+//gillis:allow niltrace fixture for a justified exemption
+func (s *Span) AllowedConstructorish() *Span { return s }

@@ -1,0 +1,77 @@
+// Package maporder is the maporder fixture: map iterations that build
+// ordered output with and without a rescuing sort.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadAppend appends into an outer slice in map order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want: append without sort
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodSorted does the same but sorts before returning.
+func GoodSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BadPrint streams rows in map order.
+func BadPrint(w io.Writer, m map[string]int) {
+	for k, v := range m { // want: Fprintf without sort
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadWrite calls Write on a sink in map order.
+func BadWrite(w io.Writer, m map[string][]byte) {
+	for _, v := range m { // want: Write without sort
+		w.Write(v)
+	}
+}
+
+// GoodLocal rebuilds a per-iteration slice; nothing ordered escapes.
+func GoodLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// GoodSlice ranges over a slice, which is already ordered.
+func GoodSlice(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// AllowedSummary is order-insensitive in a way the analyzer cannot see.
+func AllowedSummary(m map[string]float64) []float64 {
+	var sums []float64
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	//gillis:allow maporder single-element append after an order-insensitive reduction
+	for range m {
+		sums = append(sums, total)
+		break
+	}
+	return sums
+}

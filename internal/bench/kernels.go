@@ -83,14 +83,17 @@ func measure(op nn.Op, x *tensor.Tensor, minDuration time.Duration) (nsPerOp, al
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	//gillis:allow nodeterm kernel microbenchmarks measure real wall-clock speed, not simulated time
 	start := time.Now()
 	iters := 0
+	//gillis:allow nodeterm wall-clock iteration budget for the microbenchmark loop
 	for time.Since(start) < minDuration || iters < 5 {
 		if _, err = op.Forward(x); err != nil {
 			return 0, 0, 0, err
 		}
 		iters++
 	}
+	//gillis:allow nodeterm wall-clock measurement is the quantity being reported
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	n := int64(iters)

@@ -6,9 +6,11 @@
 #                                       fresh run (floors = measured - 0.5pt)
 #
 # COVERAGE_BASELINE holds one "import/path floor%" line per package with
-# tests. The gate fails when any listed package measures below its floor, or
-# when a listed package disappears from the test output. New packages are
-# not gated until the baseline is regenerated.
+# tests. The gate fails when any listed package measures below its floor,
+# when a listed package disappears from the test output, or when a measured
+# package has no baseline entry at all — so adding a package without
+# recording its floor is a loud, self-explanatory failure rather than a
+# silently ungated package.
 set -u
 cd "$(dirname "$0")/.."
 baseline=COVERAGE_BASELINE
@@ -56,6 +58,20 @@ while read -r pkg floor; do
 		fail=1
 	fi
 done < "$baseline"
+
+# Every measured package must be gated: a package that reports coverage but
+# has no baseline line fails with instructions instead of slipping through.
+while read -r pkg pct; do
+	[ -z "$pkg" ] && continue
+	in_baseline="$(awk -v p="$pkg" '$1 == p { print 1 }' "$baseline")"
+	if [ -z "$in_baseline" ]; then
+		echo "coverage: package $pkg measures ${pct}% but has no floor in $baseline" >&2
+		echo "coverage: add it by regenerating the baseline: ./scripts/check_coverage.sh -update" >&2
+		fail=1
+	fi
+done <<EOF
+$measured
+EOF
 
 if [ $fail -eq 0 ]; then
 	echo "coverage: all packages at or above their baseline floors"

@@ -6,9 +6,10 @@
 
 GO ?= go
 RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet \
-	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis
+	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis \
+	./internal/gateway
 
-.PHONY: ci lint vet build test race chaos cover bench-kernels bench-chaos
+.PHONY: ci lint vet build test race chaos cover bench-kernels bench-chaos bench-load
 
 ci: lint build test race chaos
 
@@ -57,3 +58,8 @@ bench-kernels:
 # any machine).
 bench-chaos:
 	$(GO) run ./cmd/gillis-bench -figs chaos -seed 42 -chaos-json BENCH_chaos.json
+
+# Regenerate the checked-in serving-gateway load baseline (quick-mode sweep,
+# fully seeded and ShapeOnly: same output on any machine).
+bench-load:
+	$(GO) run ./cmd/gillis-bench -quick -seed 42 -load -load-json BENCH_load.json

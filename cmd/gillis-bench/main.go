@@ -7,12 +7,17 @@
 //	             [-queries N] [-quick] [-out FILE] [-parallelism N]
 //	             [-faults R1,R2,...] [-chaos-json FILE]
 //	             [-kernels-json FILE] [-cpuprofile FILE] [-memprofile FILE]
-//	             [-trace-json FILE]
+//	             [-trace-json FILE] [-load] [-load-json FILE]
 //
 // -trace-json serves one seeded resilient fork-join query of the chaos
 // workload under fault injection and writes its span tree as Chrome
 // trace-event JSON (loadable in chrome://tracing or Perfetto), skipping the
 // figure sweep.
+//
+// -load replays bursty arrival traces through the serving gateway, sweeping
+// burst rate × autoscaling policy and reporting SLO attainment and cost per
+// policy, skipping the figure sweep; -load-json additionally writes the
+// sweep as JSON (the BENCH_load.json baseline).
 package main
 
 import (
@@ -71,6 +76,8 @@ func run(args []string, stdout io.Writer) error {
 	kernelsJSON := fs.String("kernels-json", "", "write the kernels figure as JSON to this file (BENCH_kernels.json baseline)")
 	faultsFlag := fs.String("faults", "", "comma-separated fault rates for the chaos figure (default 0.02,0.05,0.10)")
 	chaosJSON := fs.String("chaos-json", "", "write the chaos figure as JSON to this file (BENCH_chaos.json baseline)")
+	loadFlag := fs.Bool("load", false, "run the serving-gateway load sweep (SLO attainment + cost vs burst rate x policy), skipping the figure sweep")
+	loadJSON := fs.String("load-json", "", "write the load sweep as JSON to this file (BENCH_load.json baseline; implies -load)")
 	traceJSON := fs.String("trace-json", "", "trace one fork-join query and write Chrome trace-event JSON to this file")
 	traceFaults := fs.Float64("trace-faults", 0.05, "fault rate for the traced query (-trace-json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -114,6 +121,25 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		ctx.FaultRates = rates
+	}
+
+	if *loadFlag || *loadJSON != "" {
+		report, err := bench.SweepLoad(ctx)
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+		fmt.Fprintln(stdout, report.Table())
+		if *loadJSON != "" {
+			js, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*loadJSON, js, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "load sweep written to %s\n", *loadJSON)
+		}
+		return nil
 	}
 
 	if *traceJSON != "" {

@@ -121,3 +121,25 @@ func TestParseRates(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLoadWritesJSONBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-load", "-load-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Load sweep") || !strings.Contains(out, "burst-aware") {
+		t.Fatalf("stdout missing load sweep table:\n%s", out)
+	}
+	if strings.Contains(out, "Fig") {
+		t.Fatal("-load must skip the figure sweep")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"slo_pct\"") || !strings.Contains(string(data), "\"cost_inflation\"") {
+		t.Fatalf("baseline JSON malformed:\n%s", data)
+	}
+}

@@ -1,7 +1,9 @@
 // Command gillis-server exposes a Gillis deployment over HTTP: real
-// inference (exact tensor math) runs through the fork-join runtime on the
-// simulated serverless platform, per request. It demonstrates the
-// end-to-end serving path a production front end would wrap around Gillis.
+// inference (exact tensor math) runs through the serving gateway and the
+// fork-join runtime on the simulated serverless platform, per request. It
+// demonstrates the end-to-end serving path a production front end would
+// wrap around Gillis, and its /v1/metrics endpoint aggregates the
+// gateway's admission and SLO counters across requests.
 //
 // Endpoints:
 //
@@ -13,19 +15,25 @@
 // Usage:
 //
 //	gillis-server [-addr :8080] [-modelfile m.glsm] [-platform lambda]
+//	              [-slo-ms 500]
 //
-// Without -modelfile a small built-in demo CNN is served.
+// Without -modelfile a small built-in demo CNN is served. -slo-ms sets the
+// per-query latency deadline tracked by the gateway.slo_attained /
+// gateway.slo_violated counters (0 disables the deadline).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"gillis/internal/core"
+	"gillis/internal/gateway"
 	"gillis/internal/graph"
 	"gillis/internal/modelio"
 	"gillis/internal/nn"
@@ -43,9 +51,10 @@ func main() {
 	modelFile := flag.String("modelfile", "", "ONNX-lite model with weights (default: built-in demo CNN)")
 	platformName := flag.String("platform", "lambda", "platform: lambda, gcf, or knix")
 	seed := flag.Int64("seed", 1, "seed")
+	sloMs := flag.Float64("slo-ms", 0, "per-query latency SLO in simulated ms (0 = no deadline)")
 	flag.Parse()
 
-	srv, err := newServer(*modelFile, *platformName, *seed)
+	srv, err := newServer(*modelFile, *platformName, *seed, *sloMs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gillis-server:", err)
 		os.Exit(1)
@@ -56,8 +65,9 @@ func main() {
 }
 
 // server holds the loaded model and its plan; each request runs one
-// simulated fork-join inference with real tensor math. metrics is shared
-// across the per-request platforms, so /v1/metrics aggregates over the
+// simulated fork-join inference with real tensor math, admitted through
+// the serving gateway. metrics is shared across the per-request platforms,
+// so /v1/metrics aggregates both platform and gateway counters over the
 // server's lifetime.
 type server struct {
 	model   *graph.Graph
@@ -65,10 +75,11 @@ type server struct {
 	plan    *partition.Plan
 	cfg     platform.Config
 	seed    int64
+	sloMs   float64
 	metrics *trace.Registry
 }
 
-func newServer(modelFile, platformName string, seed int64) (*server, error) {
+func newServer(modelFile, platformName string, seed int64, sloMs float64) (*server, error) {
 	cfg, err := platform.ByName(platformName)
 	if err != nil {
 		return nil, err
@@ -98,7 +109,7 @@ func newServer(modelFile, platformName string, seed int64) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed, metrics: trace.NewRegistry()}, nil
+	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed, sloMs: sloMs, metrics: trace.NewRegistry()}, nil
 }
 
 // demoModel is the built-in CNN served when no model file is given.
@@ -168,6 +179,7 @@ type predictResponse struct {
 	Output    []float32 `json:"output"`
 	LatencyMs float64   `json:"latencyMs"` // simulated serverless latency
 	BilledMs  int64     `json:"billedMs"`
+	SLOOk     bool      `json:"sloOk"` // within -slo-ms (always true when unset)
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -189,42 +201,39 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// infer runs one fork-join inference on a fresh simulation.
+// infer runs one fork-join inference on a fresh simulation, admitted
+// through the serving gateway as a single-arrival replay so the gateway's
+// admission and SLO counters accumulate in the shared metrics registry.
 func (s *server) infer(input *tensor.Tensor) (*predictResponse, error) {
 	env := simnet.NewEnv()
 	p := platform.New(env, s.cfg, s.seed)
 	p.UseMetrics(s.metrics)
-	var out *predictResponse
-	var serveErr error
-	env.Go("request", func(proc *simnet.Proc) {
-		d, err := runtime.Deploy(p, s.units, s.plan, runtime.Real)
-		if err != nil {
-			serveErr = err
-			return
-		}
-		if err := d.Prewarm(); err != nil {
-			serveErr = err
-			return
-		}
-		res, err := d.Serve(proc, input)
-		if err != nil {
-			serveErr = err
-			return
-		}
-		out = &predictResponse{
-			Shape:     res.Output.Shape(),
-			Output:    res.Output.Data(),
-			LatencyMs: res.LatencyMs,
-			BilledMs:  res.BilledMs,
-		}
-	})
-	if err := env.Run(); err != nil {
+	d, err := runtime.Deploy(p, s.units, s.plan, runtime.Real)
+	if err != nil {
 		return nil, err
 	}
-	if serveErr != nil {
-		return nil, serveErr
+	if err := d.Prewarm(); err != nil {
+		return nil, err
 	}
-	return out, nil
+	_, outs, err := gateway.Run(d, []time.Duration{0}, gateway.Config{
+		MaxInFlight: 1,
+		SLOMs:       s.sloMs,
+		Input:       func(int) *tensor.Tensor { return input },
+	})
+	if err != nil {
+		return nil, err
+	}
+	o := outs[0]
+	if o.Err != "" {
+		return nil, errors.New(o.Err)
+	}
+	return &predictResponse{
+		Shape:     o.Output.Shape(),
+		Output:    o.Output.Data(),
+		LatencyMs: o.LatencyMs,
+		BilledMs:  o.BilledMs,
+		SLOOk:     o.SLOOK,
+	}, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -24,7 +24,7 @@ var (
 
 func demoServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srvOnce.Do(func() { testSrv, srvErr = newServer("", "lambda", 1) })
+	srvOnce.Do(func() { testSrv, srvErr = newServer("", "lambda", 1, 2000) })
 	if srvErr != nil {
 		t.Fatal(srvErr)
 	}
@@ -127,7 +127,7 @@ func TestNewServerFromModelFile(t *testing.T) {
 	if err := modelio.SaveFile(path, g, true); err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(path, "knix", 2)
+	s, err := newServer(path, "knix", 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestNewServerFromModelFile(t *testing.T) {
 	if err := modelio.SaveFile(path, demoModel(), false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(path, "knix", 2); err == nil {
+	if _, err := newServer(path, "knix", 2, 0); err == nil {
 		t.Fatal("expected no-weights error")
 	}
 }
@@ -166,9 +166,35 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"counter platform.invocations", "counter runtime.queries", "histogram runtime.query_latency_ms"} {
+	for _, want := range []string{
+		"counter platform.invocations", "counter runtime.queries", "histogram runtime.query_latency_ms",
+		// Requests are admitted through the serving gateway, so its
+		// admission and SLO counters aggregate here too.
+		"counter gateway.queries", "counter gateway.admitted", "counter gateway.served",
+		"counter gateway.slo_attained", "histogram gateway.queue_wait_ms", "histogram gateway.total_ms",
+	} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("metrics output misses %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestPredictRespectsSLOFlag pins the gateway wiring: a served demo query
+// well under the generous test SLO reports sloOk.
+func TestPredictRespectsSLOFlag(t *testing.T) {
+	ts := demoServer(t)
+	in := tensor.Full(0.1, 3, 32, 32)
+	body, _ := json.Marshal(predictRequest{Shape: in.Shape(), Input: in.Data()})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.SLOOk {
+		t.Errorf("warm demo inference (%.1f ms) should be within the %0.f ms test SLO", pr.LatencyMs, 2000.0)
 	}
 }

@@ -12,16 +12,20 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden di
 
 // goldenCases maps each analyzer to its fixture package under testdata/src.
 // Fixture directories under "gillis/..." exercise the analyzers'
-// import-path gating via the loader's testdata/src remapping.
+// import-path gating via the loader's testdata/src remapping. golden names
+// the golden file (without extension) when one analyzer has several
+// fixtures; empty means the analyzer's own name.
 var goldenCases = []struct {
 	analyzer *Analyzer
 	fixture  string
+	golden   string
 }{
-	{AnalyzerErrdrop, "gillis/internal/errdrop"},
-	{AnalyzerFloatacc, "floatacc"},
-	{AnalyzerMaporder, "maporder"},
-	{AnalyzerNiltrace, "gillis/internal/trace"},
-	{AnalyzerNodeterm, "gillis/internal/platform"},
+	{AnalyzerErrdrop, "gillis/internal/errdrop", ""},
+	{AnalyzerFloatacc, "floatacc", ""},
+	{AnalyzerMaporder, "maporder", ""},
+	{AnalyzerNiltrace, "gillis/internal/trace", ""},
+	{AnalyzerNodeterm, "gillis/internal/platform", ""},
+	{AnalyzerNodeterm, "gillis/internal/gateway", "nodeterm_gateway"},
 }
 
 // TestGoldenDiagnostics pins each analyzer's findings over its fixture
@@ -29,7 +33,11 @@ var goldenCases = []struct {
 // quickstart span tree.
 func TestGoldenDiagnostics(t *testing.T) {
 	for _, tc := range goldenCases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
+		goldenName := tc.golden
+		if goldenName == "" {
+			goldenName = tc.analyzer.Name
+		}
+		t.Run(goldenName, func(t *testing.T) {
 			pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(tc.fixture)))
 			if err != nil {
 				t.Fatal(err)
@@ -45,7 +53,7 @@ func TestGoldenDiagnostics(t *testing.T) {
 			}
 			got := sb.String()
 
-			goldenPath := filepath.Join("testdata", tc.analyzer.Name+".golden")
+			goldenPath := filepath.Join("testdata", goldenName+".golden")
 			if *updateGolden {
 				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 					t.Fatal(err)

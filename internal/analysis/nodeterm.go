@@ -18,6 +18,8 @@ var clockedPkgs = []string{
 	"gillis/internal/trace",
 	"gillis/internal/par",
 	"gillis/internal/nn",
+	"gillis/internal/workload",
+	"gillis/internal/gateway",
 }
 
 // nodetermBanned maps an import path to the package-level names that read

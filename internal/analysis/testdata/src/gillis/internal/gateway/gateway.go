@@ -1,0 +1,30 @@
+// Package gateway is a nodeterm fixture impersonating the serving gateway:
+// the loader remaps testdata/src/<path> to <path>, so this file
+// type-checks as gillis/internal/gateway. The gateway's replays must be a
+// pure function of the arrival trace, the platform seed, and the policy —
+// every ambient read below would break bit-for-bit replay.
+package gateway
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// BadAdmit stamps arrivals off the wall clock and jitters admission with
+// the global RNG — both banned in a simnet-clocked package.
+func BadAdmit() float64 {
+	arrival := time.Now()          // want: wall-clock arrival stamp
+	jitterMs := rand.Float64()     // want: global RNG draw
+	_ = os.Getenv("GATEWAY_QUEUE") // want: environment lookup
+	wait := time.Since(arrival)    // want: wall-clock read
+	return float64(wait) + jitterMs
+}
+
+// GoodAdmit derives everything from the virtual clock and a seeded RNG.
+func GoodAdmit(nowVirtual time.Duration, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	deadline := nowVirtual + 500*time.Millisecond
+	_ = deadline
+	return rng.Float64()
+}

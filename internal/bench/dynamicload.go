@@ -7,11 +7,6 @@ import (
 	"time"
 
 	"gillis/internal/core"
-	"gillis/internal/partition"
-	"gillis/internal/platform"
-	"gillis/internal/runtime"
-	"gillis/internal/simnet"
-	"gillis/internal/stats"
 	"gillis/internal/workload"
 )
 
@@ -22,26 +17,34 @@ type LoadRow struct {
 	MeanMs     float64
 	P99Ms      float64
 	ColdStarts int
+	// SLOPct is SLO attainment over all arrivals; Shed counts queries the
+	// gateway rejected at admission; CostPer1KMs is billed milliseconds
+	// (invocations + prewarming) per thousand queries.
+	SLOPct      float64
+	Shed        int
+	CostPer1KMs float64
 }
 
 // LoadResult is an extension study replaying a bursty arrival trace
-// (§II-A's motivating regime) against a Gillis deployment under different
-// warm-pool policies: none, steady-state sized, and burst-aware. The
-// serverless platform absorbs the spike either way — the warm-up policy
-// decides who pays cold starts on the tail.
+// (§II-A's motivating regime) through the serving gateway under different
+// autoscaling policies: none, reactive target-concurrency, and
+// schedule-driven burst-aware. The serverless platform absorbs the spike
+// either way — the policy decides who pays cold starts on the tail, and
+// what the standing warmth costs.
 type LoadResult struct {
 	Model string
 	Spec  workload.BurstSpec
+	SLOMs float64
 	Rows  []LoadRow
 }
 
-// DynamicLoad runs the study with ResNet-50 on Lambda.
+// DynamicLoad runs the study with ResNet-50 on Lambda behind the gateway.
 func DynamicLoad(ctx *Context) (*LoadResult, error) {
 	m, err := ctx.Model("lambda")
 	if err != nil {
 		return nil, err
 	}
-	units, err := ctx.Units("resnet50")
+	units, err := ctx.Units(sweepLoadModel)
 	if err != nil {
 		return nil, err
 	}
@@ -64,84 +67,44 @@ func DynamicLoad(ctx *Context) (*LoadResult, error) {
 		return nil, err
 	}
 
-	res := &LoadResult{Model: "resnet50", Spec: spec}
-	policies := []struct {
-		name string
-		warm int
-	}{
-		{"no warm-up", 0},
-		{"steady-sized (2)", 2},
-		{"burst-aware (12)", 12},
+	cfg := m.Platform()
+	cfg.WarmIdleMs = 8000
+	cfg.PrewarmMs = cfg.ColdStartMs
+	warmMs, err := calibrateWarmMs(cfg, ctx.Seed, units, plan)
+	if err != nil {
+		return nil, err
 	}
-	for pi, pol := range policies {
-		row, err := replayTrace(m.Platform(), ctx.Seed+int64(pi), units, plan, arrivals, pol.warm)
+	sloMs := round3(warmMs + 0.6*cfg.ColdStartMs)
+
+	res := &LoadResult{Model: sweepLoadModel, Spec: spec, SLOMs: sloMs}
+	for pi, pol := range sweepPolicies(spec, warmMs) {
+		rep, err := replayPolicy(cfg, ctx.Seed+int64(pi), units, plan, arrivals, sloMs, 16, pol)
 		if err != nil {
 			return nil, err
 		}
-		row.Policy = pol.name
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
-}
-
-// replayTrace fires one query per arrival time against a deployment with
-// `warm` prewarmed instances per function.
-func replayTrace(cfg platform.Config, seed int64, units []*partition.Unit, plan *partition.Plan,
-	arrivals []time.Duration, warm int) (LoadRow, error) {
-	env := simnet.NewEnv()
-	p := platform.New(env, cfg, seed)
-	d, err := runtime.Deploy(p, units, plan, runtime.ShapeOnly)
-	if err != nil {
-		return LoadRow{}, err
-	}
-	for i := 0; i < warm; i++ {
-		if err := d.Prewarm(); err != nil {
-			return LoadRow{}, err
-		}
-	}
-	lats := make([]float64, 0, len(arrivals))
-	cold := 0
-	errs := make([]error, len(arrivals))
-	for i, at := range arrivals {
-		i, at := i, at
-		env.Go(fmt.Sprintf("q%d", i), func(proc *simnet.Proc) {
-			proc.Sleep(at)
-			r, err := d.Serve(proc, nil)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			lats = append(lats, r.LatencyMs)
-			if r.ColdStart {
-				cold++
-			}
+		res.Rows = append(res.Rows, LoadRow{
+			Policy:      rep.Policy,
+			Queries:     rep.Queries,
+			MeanMs:      rep.MeanMs,
+			P99Ms:       rep.P99Ms,
+			ColdStarts:  rep.ColdStarts,
+			SLOPct:      rep.SLOPct,
+			Shed:        rep.Shed,
+			CostPer1KMs: rep.CostPer1K,
 		})
 	}
-	if err := env.Run(); err != nil {
-		return LoadRow{}, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return LoadRow{}, err
-		}
-	}
-	return LoadRow{
-		Queries:    len(lats),
-		MeanMs:     stats.Mean(lats),
-		P99Ms:      stats.Percentile(lats, 99),
-		ColdStarts: cold,
-	}, nil
+	return res, nil
 }
 
 // Table renders the study as text.
 func (r *LoadResult) Table() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Dynamic load. %s under bursty traffic (%.0f→%.0f qps bursts)\n",
-		r.Model, r.Spec.BaseRate, r.Spec.BurstRate)
-	sb.WriteString("          policy | queries | mean ms | p99 ms | cold starts\n")
+	fmt.Fprintf(&sb, "Dynamic load. %s under bursty traffic (%.0f→%.0f qps bursts, SLO %.0f ms)\n",
+		r.Model, r.Spec.BaseRate, r.Spec.BurstRate, r.SLOMs)
+	sb.WriteString("             policy | queries | mean ms | p99 ms | cold | shed |  slo% | cost/1k ms\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "%16s | %7d | %7.0f | %6.0f | %d\n",
-			row.Policy, row.Queries, row.MeanMs, row.P99Ms, row.ColdStarts)
+		fmt.Fprintf(&sb, "%19s | %7d | %7.0f | %6.0f | %4d | %4d | %5.1f | %.0f\n",
+			row.Policy, row.Queries, row.MeanMs, row.P99Ms, row.ColdStarts, row.Shed, row.SLOPct, row.CostPer1KMs)
 	}
 	return sb.String()
 }

@@ -1,0 +1,327 @@
+// Package gateway is the serving front door for a deployment: it replays a
+// workload arrival trace against the simulated platform, admitting queries
+// into a bounded FIFO queue, running up to MaxInFlight concurrent
+// Deployment.Serve calls (each on its own simnet process), and shedding
+// load once the queue is full — the transient-burst regime §II-A of the
+// Gillis paper motivates serverless serving with.
+//
+// The gateway is simnet-clocked end to end: for a fixed arrival trace,
+// platform seed, and policy, a replay is bit-for-bit reproducible, at any
+// host kernel parallelism. An optional autoscaling Policy observes the
+// gateway each control tick and prewarms warm instance sets ahead of
+// demand; prewarming costs real billed milliseconds when the platform
+// charges for it (Config.PrewarmMs), so policies trade SLO attainment
+// against cost inflation rather than getting warmth for free.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gillis/internal/platform"
+	"gillis/internal/runtime"
+	"gillis/internal/simnet"
+	"gillis/internal/tensor"
+	"gillis/internal/trace"
+)
+
+// ErrShed is reported for queries rejected at admission because the wait
+// queue was full.
+var ErrShed = errors.New("gateway: queue full, query shed")
+
+// Config parameterizes a gateway replay.
+type Config struct {
+	// MaxInFlight caps concurrent Serve calls. Required (> 0).
+	MaxInFlight int
+	// QueueCap bounds the FIFO wait queue; arrivals past it are shed.
+	// Zero means no waiting room: a query either starts or is shed.
+	QueueCap int
+	// SLOMs is the per-query latency deadline in milliseconds, measured
+	// from arrival to settle (queue wait included) — the same latency SLO
+	// the core/sloaware planner targets as tmax. Zero disables SLO
+	// accounting: every successfully served query attains.
+	SLOMs float64
+	// TickMs is the autoscaling control interval (default 100 ms).
+	TickMs float64
+	// Traced serves each query through ServeTraced and retains the trace
+	// on its Outcome.
+	Traced bool
+	// Input supplies the i-th query's input tensor (Real-mode
+	// deployments). Nil serves every query with a nil input (ShapeOnly).
+	Input func(i int) *tensor.Tensor
+	// Policy is the autoscaler (default NonePolicy).
+	Policy Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickMs <= 0 {
+		c.TickMs = 100
+	}
+	if c.Policy == nil {
+		c.Policy = NonePolicy{}
+	}
+	return c
+}
+
+// Outcome records one query's fate.
+type Outcome struct {
+	// ID is the query's index in the arrival trace.
+	ID int
+	// ArrivalMs is the arrival time on the virtual clock.
+	ArrivalMs float64
+	// QueueMs is the time spent waiting for a serving slot.
+	QueueMs float64
+	// LatencyMs is the serve latency (the master function's duration);
+	// zero for shed queries.
+	LatencyMs float64
+	// TotalMs is arrival-to-settle: queue wait plus the full client-side
+	// serve (upload, retries, download).
+	TotalMs float64
+	// BilledMs is the query's billed function time (master + workers).
+	BilledMs int64
+	// ColdStart reports whether the master cold-started.
+	ColdStart bool
+	// Shed reports the query was rejected at admission (Err is ErrShed's
+	// message).
+	Shed bool
+	// Err is the terminal serve error, empty on success.
+	Err string
+	// SLOOK reports the query was served successfully within Config.SLOMs.
+	SLOOK bool
+	// Output is the inference result (Real mode only).
+	Output *tensor.Tensor
+	// Trace is the query's span tree (Config.Traced only; nil for shed
+	// queries, which never reach the platform).
+	Trace *trace.Trace
+}
+
+// gateway is the per-replay state. Fields are mutex-guarded: simnet runs at
+// most one process at a time, but processes are goroutines and the race
+// detector rightly wants explicit synchronization.
+type gateway struct {
+	d   *runtime.Deployment
+	cfg Config
+
+	mu       sync.Mutex
+	inFlight int
+	queue    []*simnet.Promise[struct{}]
+	maxQueue int
+	done     int
+	total    int
+	outcomes []Outcome
+	scaleErr error
+
+	mQueries, mAdmitted, mShed, mServed, mFaulted *trace.Counter
+	mSLOOK, mSLOViolated, mColdStarts             *trace.Counter
+	hQueueDepth, hQueueWaitMs, hTotalMs           *trace.Histogram
+}
+
+// Run replays the arrival trace (strictly increasing offsets, as produced
+// by package workload) against the deployment and drains the simulation.
+// It returns the aggregate LoadReport alongside every query's Outcome,
+// indexed by arrival order.
+func Run(d *runtime.Deployment, arrivals []time.Duration, cfg Config) (*LoadReport, []Outcome, error) {
+	if cfg.MaxInFlight <= 0 {
+		return nil, nil, fmt.Errorf("gateway: MaxInFlight must be positive, got %d", cfg.MaxInFlight)
+	}
+	if cfg.QueueCap < 0 {
+		return nil, nil, fmt.Errorf("gateway: QueueCap must be non-negative, got %d", cfg.QueueCap)
+	}
+	cfg = cfg.withDefaults()
+	p := d.Platform()
+	reg := p.Metrics()
+	g := &gateway{
+		d:            d,
+		cfg:          cfg,
+		total:        len(arrivals),
+		outcomes:     make([]Outcome, len(arrivals)),
+		mQueries:     reg.Counter("gateway.queries"),
+		mAdmitted:    reg.Counter("gateway.admitted"),
+		mShed:        reg.Counter("gateway.shed"),
+		mServed:      reg.Counter("gateway.served"),
+		mFaulted:     reg.Counter("gateway.faulted"),
+		mSLOOK:       reg.Counter("gateway.slo_attained"),
+		mSLOViolated: reg.Counter("gateway.slo_violated"),
+		mColdStarts:  reg.Counter("gateway.cold_starts"),
+		hQueueDepth:  reg.Histogram("gateway.queue_depth"),
+		hQueueWaitMs: reg.Histogram("gateway.queue_wait_ms"),
+		hTotalMs:     reg.Histogram("gateway.total_ms"),
+	}
+
+	billed0 := p.BilledMsTotal()
+	prewarm0 := p.PrewarmBilledMs()
+	env := p.Env()
+
+	// The dispatcher walks the trace on the virtual clock and launches one
+	// process per query at its arrival instant.
+	env.Go("gateway-dispatch", func(proc *simnet.Proc) {
+		for i, at := range arrivals {
+			proc.Sleep(at - proc.Now())
+			i := i
+			env.Go(fmt.Sprintf("query-%d", i), func(qp *simnet.Proc) {
+				g.query(qp, i)
+			})
+		}
+	})
+	env.Go("gateway-autoscale", func(proc *simnet.Proc) {
+		g.autoscale(proc)
+	})
+	if err := env.Run(); err != nil {
+		return nil, nil, err
+	}
+	if g.scaleErr != nil {
+		return nil, nil, g.scaleErr
+	}
+	rep := g.report(p.BilledMsTotal()-billed0, p.PrewarmBilledMs()-prewarm0)
+	return rep, g.outcomes, nil
+}
+
+// query admits one arrival: start immediately, wait in the FIFO queue, or
+// shed.
+func (g *gateway) query(proc *simnet.Proc, i int) {
+	arrivalMs := durMs(proc.Now())
+	g.mQueries.Inc()
+
+	g.mu.Lock()
+	switch {
+	case g.inFlight < g.cfg.MaxInFlight:
+		g.inFlight++
+		g.hQueueDepth.Observe(float64(len(g.queue)))
+		g.mu.Unlock()
+	case len(g.queue) < g.cfg.QueueCap:
+		pr := simnet.NewPromise[struct{}](proc.Env())
+		g.queue = append(g.queue, pr)
+		if len(g.queue) > g.maxQueue {
+			g.maxQueue = len(g.queue)
+		}
+		g.hQueueDepth.Observe(float64(len(g.queue)))
+		g.mu.Unlock()
+		// A finishing query hands its slot to the queue head directly, so
+		// resolution implies the in-flight accounting already covers us.
+		if _, err := pr.Wait(proc); err != nil {
+			g.settle(i, Outcome{ID: i, ArrivalMs: arrivalMs, Err: err.Error()})
+			return
+		}
+	default:
+		g.hQueueDepth.Observe(float64(len(g.queue)))
+		g.mu.Unlock()
+		g.mShed.Inc()
+		g.mSLOViolated.Inc()
+		g.settle(i, Outcome{ID: i, ArrivalMs: arrivalMs, Shed: true, Err: ErrShed.Error()})
+		return
+	}
+
+	g.mAdmitted.Inc()
+	o := g.serve(proc, i, arrivalMs)
+
+	// Release the slot: hand it to the queue head if anyone is waiting.
+	g.mu.Lock()
+	if len(g.queue) > 0 {
+		head := g.queue[0]
+		g.queue = g.queue[1:]
+		g.mu.Unlock()
+		head.Resolve(struct{}{})
+	} else {
+		g.inFlight--
+		g.mu.Unlock()
+	}
+	g.settle(i, o)
+}
+
+// serve runs the admitted query to completion and builds its Outcome.
+func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
+	startMs := durMs(proc.Now())
+	var in *tensor.Tensor
+	if g.cfg.Input != nil {
+		in = g.cfg.Input(i)
+	}
+	var res runtime.Result
+	var tr *trace.Trace
+	var err error
+	if g.cfg.Traced {
+		res, tr, err = g.d.ServeTraced(proc, in)
+	} else {
+		res, err = g.d.Serve(proc, in)
+	}
+	o := Outcome{
+		ID:        i,
+		ArrivalMs: arrivalMs,
+		QueueMs:   startMs - arrivalMs,
+		TotalMs:   durMs(proc.Now()) - arrivalMs,
+		Trace:     tr,
+	}
+	g.hQueueWaitMs.Observe(o.QueueMs)
+	g.hTotalMs.Observe(o.TotalMs)
+	if err != nil {
+		o.Err = err.Error()
+		o.BilledMs = platform.BilledMsOf(err)
+		g.mFaulted.Inc()
+		g.mSLOViolated.Inc()
+		return o
+	}
+	o.LatencyMs = res.LatencyMs
+	o.BilledMs = res.BilledMs
+	o.ColdStart = res.ColdStart
+	o.Output = res.Output
+	o.SLOOK = g.cfg.SLOMs <= 0 || o.TotalMs <= g.cfg.SLOMs
+	g.mServed.Inc()
+	if res.ColdStart {
+		g.mColdStarts.Inc()
+	}
+	if o.SLOOK {
+		g.mSLOOK.Inc()
+	} else {
+		g.mSLOViolated.Inc()
+	}
+	return o
+}
+
+// settle records the outcome and counts the query done (the autoscaler's
+// exit condition).
+func (g *gateway) settle(i int, o Outcome) {
+	g.mu.Lock()
+	g.outcomes[i] = o
+	g.done++
+	g.mu.Unlock()
+}
+
+// autoscale runs the control loop: each tick it observes the gateway,
+// asks the policy for a warm-set target, and prewarms the difference. It
+// exits once every query has settled so the simulation can drain.
+func (g *gateway) autoscale(proc *simnet.Proc) {
+	tick := time.Duration(g.cfg.TickMs * float64(time.Millisecond))
+	for {
+		g.mu.Lock()
+		obs := Observation{
+			InFlight: g.inFlight,
+			QueueLen: len(g.queue),
+			Done:     g.done,
+			Total:    g.total,
+		}
+		g.mu.Unlock()
+		if obs.Done >= obs.Total {
+			return
+		}
+		obs.WarmSets = g.d.WarmSets()
+		target := g.cfg.Policy.Target(proc.Now(), obs)
+		// Busy instances return to the pool when they finish, so the
+		// standing capacity is warm sets plus in-flight queries; only the
+		// shortfall needs new instances.
+		for have := obs.WarmSets + obs.InFlight; have < target; have++ {
+			if err := g.d.Prewarm(); err != nil {
+				g.mu.Lock()
+				if g.scaleErr == nil {
+					g.scaleErr = fmt.Errorf("gateway: prewarm: %w", err)
+				}
+				g.mu.Unlock()
+				return
+			}
+		}
+		proc.Sleep(tick)
+	}
+}
+
+// durMs converts a virtual-clock duration to milliseconds.
+func durMs(d time.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"math"
+	"time"
+
+	"gillis/internal/workload"
+)
+
+// Observation is what a Policy sees each control tick.
+type Observation struct {
+	// InFlight is the number of queries currently being served.
+	InFlight int
+	// QueueLen is the number of queries waiting for a slot.
+	QueueLen int
+	// WarmSets is the deployment's idle warm instance-set count.
+	WarmSets int
+	// Done and Total report replay progress.
+	Done, Total int
+}
+
+// Policy decides how many warm instance sets the deployment should have
+// standing by. The gateway prewarms up to the target each tick (it never
+// tears warm instances down — the platform's idle expiry does that, which
+// is exactly how real FaaS warm pools drain).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Target returns the desired warm-set count at virtual time now.
+	Target(now time.Duration, obs Observation) int
+}
+
+// NonePolicy never prewarms: every pool miss pays a cold start, and
+// nothing is spent keeping instances warm. The cost floor and the SLO
+// ceiling's worst case.
+type NonePolicy struct{}
+
+// Name implements Policy.
+func (NonePolicy) Name() string { return "none" }
+
+// Target implements Policy.
+func (NonePolicy) Target(time.Duration, Observation) int { return 0 }
+
+// TargetConcurrency reactively tracks observed demand: the target is the
+// current in-flight count plus the queue backlog plus a fixed headroom. It
+// only learns about a burst after the burst's queries have already
+// arrived, so the burst's leading edge still pays cold starts.
+type TargetConcurrency struct {
+	// Headroom is added on top of observed demand (default 0).
+	Headroom int
+}
+
+// Name implements Policy.
+func (p TargetConcurrency) Name() string { return "target-concurrency" }
+
+// Target implements Policy.
+func (p TargetConcurrency) Target(_ time.Duration, obs Observation) int {
+	return obs.InFlight + obs.QueueLen + p.Headroom
+}
+
+// BurstAware prewarms from the workload schedule itself: inside a burst
+// window — or within LeadMs of one starting — it targets enough warm sets
+// to absorb the burst rate by Little's law (rate × service time); outside,
+// the base rate. It pays for warmth it may not use, buying SLO attainment
+// at the burst's leading edge.
+type BurstAware struct {
+	// Spec is the arrival process the gateway is serving.
+	Spec workload.BurstSpec
+	// EstServeMs estimates one query's service time.
+	EstServeMs float64
+	// LeadMs prewarms this far ahead of a burst window (default 0:
+	// prewarm only once inside the window).
+	LeadMs float64
+}
+
+// Name implements Policy.
+func (p BurstAware) Name() string { return "burst-aware" }
+
+// Target implements Policy.
+func (p BurstAware) Target(now time.Duration, obs Observation) int {
+	rate := p.Spec.BaseRate
+	lead := time.Duration(p.LeadMs * float64(time.Millisecond))
+	if workload.InBurst(p.Spec, now) || workload.InBurst(p.Spec, now+lead) {
+		rate = p.Spec.BurstRate
+	}
+	return int(math.Ceil(rate * p.EstServeMs / 1000))
+}

@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"math"
+	"sort"
+)
+
+// LoadReport aggregates one gateway replay. Every field is derived
+// deterministically from the outcomes and the platform's billing totals,
+// so for a fixed seed and trace the report is byte-stable under JSON
+// encoding — bench golden files and baselines pin it directly.
+type LoadReport struct {
+	// Policy is the autoscaling policy's name.
+	Policy string `json:"policy"`
+	// Queries counts every arrival; Served/Shed/Faulted partition how the
+	// non-attaining remainder fell out.
+	Queries int `json:"queries"`
+	Served  int `json:"served"`
+	Shed    int `json:"shed"`
+	Faulted int `json:"faulted"`
+	// SLOAttained counts queries served within the deadline; SLOPct is the
+	// attainment ratio over all arrivals (shed and faulted queries count
+	// against it).
+	SLOAttained int     `json:"slo_attained"`
+	SLOPct      float64 `json:"slo_pct"`
+	// GoodputQPS is SLO-attained queries per second of makespan.
+	GoodputQPS float64 `json:"goodput_qps"`
+	// MeanMs/P50Ms/P99Ms summarize arrival-to-settle latency over served
+	// queries (exact order statistics, not histogram estimates).
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// ColdStarts counts served queries whose master cold-started;
+	// ColdStartPct is their share of served queries.
+	ColdStarts   int     `json:"cold_starts"`
+	ColdStartPct float64 `json:"cold_start_pct"`
+	// MaxQueue is the deepest the wait queue got.
+	MaxQueue int `json:"max_queue"`
+	// BilledMs is the invocation billing the replay incurred;
+	// PrewarmBilledMs the autoscaler's warm-up pings on top.
+	BilledMs        int64 `json:"billed_ms"`
+	PrewarmBilledMs int64 `json:"prewarm_billed_ms"`
+	// CostPer1K is total billed ms (invocations + prewarming) normalized
+	// per thousand arriving queries — the cost axis policies inflate.
+	CostPer1K float64 `json:"cost_per_1k_ms"`
+	// MakespanMs spans the first arrival to the last settle.
+	MakespanMs float64 `json:"makespan_ms"`
+}
+
+// report builds the LoadReport from settled outcomes. The makespan comes
+// from the outcomes themselves, not the drained clock (the autoscaler's
+// final tick pads the latter).
+func (g *gateway) report(billedMs, prewarmMs int64) *LoadReport {
+	rep := &LoadReport{
+		Policy:          g.cfg.Policy.Name(),
+		Queries:         g.total,
+		MaxQueue:        g.maxQueue,
+		BilledMs:        billedMs - prewarmMs,
+		PrewarmBilledMs: prewarmMs,
+	}
+	var totals []float64
+	var sum, firstArrival, lastSettle float64
+	for i, o := range g.outcomes {
+		if i == 0 || o.ArrivalMs < firstArrival {
+			firstArrival = o.ArrivalMs
+		}
+		if settle := o.ArrivalMs + o.TotalMs; settle > lastSettle {
+			lastSettle = settle
+		}
+		switch {
+		case o.Shed:
+			rep.Shed++
+		case o.Err != "":
+			rep.Faulted++
+		default:
+			rep.Served++
+			totals = append(totals, o.TotalMs)
+			sum += o.TotalMs
+			if o.ColdStart {
+				rep.ColdStarts++
+			}
+			if o.SLOOK {
+				rep.SLOAttained++
+			}
+		}
+	}
+	sort.Float64s(totals)
+	if rep.Served > 0 {
+		rep.MeanMs = round3(sum / float64(rep.Served))
+		rep.P50Ms = round3(quantile(totals, 0.5))
+		rep.P99Ms = round3(quantile(totals, 0.99))
+		rep.ColdStartPct = round3(100 * float64(rep.ColdStarts) / float64(rep.Served))
+	}
+	if rep.Queries > 0 {
+		rep.SLOPct = round3(100 * float64(rep.SLOAttained) / float64(rep.Queries))
+		rep.CostPer1K = round3(float64(billedMs) / float64(rep.Queries) * 1000)
+	}
+	if rep.MakespanMs = round3(lastSettle - firstArrival); rep.MakespanMs > 0 {
+		rep.GoodputQPS = round3(float64(rep.SLOAttained) / (rep.MakespanMs / 1000))
+	}
+	return rep
+}
+
+// quantile returns the exact q-th order statistic of sorted xs (nearest-rank
+// method).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(xs) {
+		rank = len(xs)
+	}
+	return xs[rank-1]
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

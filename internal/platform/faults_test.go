@@ -2,7 +2,9 @@ package platform
 
 import (
 	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"gillis/internal/simnet"
 )
@@ -348,4 +350,204 @@ func TestKilledInstanceInvokeFailsFast(t *testing.T) {
 			t.Error("expected cold start on first invocation")
 		}
 	})
+}
+
+func TestWarmIdleExpiryDeterministic(t *testing.T) {
+	cfg := fastCfg()
+	cfg.WarmIdleMs = 1000
+	runSim(t, cfg, 10, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) { return Payload{}, nil })
+		if err := p.Prewarm("f", 2); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.WarmCount("f"); got != 2 {
+			t.Fatalf("warm after prewarm = %d, want 2", got)
+		}
+		// One nanosecond short of the idle limit: both instances survive.
+		proc.Sleep(1000*time.Millisecond - time.Nanosecond)
+		if got := p.WarmCount("f"); got != 2 {
+			t.Errorf("warm at idle-1ns = %d, want 2", got)
+		}
+		// At exactly WarmIdleMs of idleness the platform reclaims them.
+		proc.Sleep(time.Nanosecond)
+		if got := p.WarmCount("f"); got != 0 {
+			t.Errorf("warm at idle = %d, want 0 (expired)", got)
+		}
+		// The next invocation pays a cold start again.
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.ColdStart {
+			t.Error("expired pool must force a cold start")
+		}
+		// The instance that just finished is freshly stamped and survives
+		// a short idle, then expires on its own schedule.
+		proc.Sleep(500 * time.Millisecond)
+		if got := p.WarmCount("f"); got != 1 {
+			t.Errorf("fresh instance expired early: warm = %d, want 1", got)
+		}
+		proc.Sleep(500 * time.Millisecond)
+		if got := p.WarmCount("f"); got != 0 {
+			t.Errorf("fresh instance outlived WarmIdleMs: warm = %d, want 0", got)
+		}
+	})
+}
+
+func TestWarmIdleZeroNeverExpires(t *testing.T) {
+	cfg := fastCfg() // WarmIdleMs = 0: instances are kept forever
+	runSim(t, cfg, 11, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) { return Payload{}, nil })
+		if err := p.Prewarm("f", 3); err != nil {
+			t.Fatal(err)
+		}
+		proc.Sleep(time.Hour)
+		if got := p.WarmCount("f"); got != 3 {
+			t.Errorf("warm after 1h with no idle limit = %d, want 3", got)
+		}
+	})
+}
+
+func TestMaxConcurrencyThrottlesWithoutBilling(t *testing.T) {
+	env := simnet.NewEnv()
+	cfg := fastCfg()
+	cfg.MaxConcurrency = 1
+	p := New(env, cfg, 12)
+	_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+		ctx.Compute(2e9) // 100 ms
+		return Payload{}, nil
+	})
+	var firstErr, throttledErr, retryErr error
+	var throttledRes, retryRes InvokeResult
+	env.Go("first", func(proc *simnet.Proc) {
+		_, firstErr = p.InvokeFrom(proc, "f", Payload{})
+	})
+	env.Go("second", func(proc *simnet.Proc) {
+		proc.Sleep(10 * time.Millisecond) // while "first" is in flight
+		throttledRes, throttledErr = p.InvokeFrom(proc, "f", Payload{})
+		proc.Sleep(2 * time.Second) // after "first" settles
+		retryRes, retryErr = p.InvokeFrom(proc, "f", Payload{})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != nil {
+		t.Fatalf("admitted invocation failed: %v", firstErr)
+	}
+	var ie *InvokeError
+	if !errors.As(throttledErr, &ie) || ie.Kind != FaultThrottled {
+		t.Fatalf("want InvokeError{FaultThrottled}, got %v", throttledErr)
+	}
+	if !strings.Contains(ie.Error(), "throttled") {
+		t.Errorf("throttle error message: %q", ie.Error())
+	}
+	// A throttled invocation does no work and bills nothing.
+	if throttledRes.BilledMs != 0 || throttledRes.TotalBilledMs != 0 || throttledRes.HandlerMs != 0 {
+		t.Errorf("throttle must bill nothing: %+v", throttledRes)
+	}
+	if BilledMsOf(throttledErr) != 0 {
+		t.Errorf("BilledMsOf(throttled) = %d, want 0", BilledMsOf(throttledErr))
+	}
+	if p.Faulted() != 1 {
+		t.Errorf("faulted = %d, want 1 (the throttle)", p.Faulted())
+	}
+	// Once the slot frees, the same caller gets through on the warm
+	// instance the first invocation left behind.
+	if retryErr != nil {
+		t.Fatalf("post-throttle retry failed: %v", retryErr)
+	}
+	if retryRes.ColdStart {
+		t.Error("retry should reuse the warm instance")
+	}
+}
+
+func TestPrewarmBillsPingCost(t *testing.T) {
+	cfg := fastCfg()
+	cfg.PrewarmMs = 50
+	runSim(t, cfg, 13, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) { return Payload{}, nil })
+		if err := p.Prewarm("f", 3); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.BilledMsTotal(); got != 150 {
+			t.Errorf("prewarm billed %d ms, want 3*50", got)
+		}
+		if got := p.PrewarmBilledMs(); got != 150 {
+			t.Errorf("PrewarmBilledMs = %d, want 150", got)
+		}
+		if got := p.WarmCount("f"); got != 3 {
+			t.Errorf("warm = %d, want 3", got)
+		}
+		// An invocation's billing stacks on top; the prewarm share stays
+		// separately attributable for trace reconciliation.
+		res, err := p.InvokeFrom(proc, "f", Payload{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.BilledMsTotal(); got != 150+res.TotalBilledMs {
+			t.Errorf("total %d, want prewarm 150 + invocation %d", got, res.TotalBilledMs)
+		}
+		if got := p.PrewarmBilledMs(); got != 150 {
+			t.Errorf("PrewarmBilledMs drifted to %d", got)
+		}
+	})
+}
+
+func TestPrewarmFreeByDefault(t *testing.T) {
+	runSim(t, fastCfg(), 14, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) { return Payload{}, nil })
+		if err := p.Prewarm("f", 5); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.BilledMsTotal(); got != 0 {
+			t.Errorf("default prewarm billed %d ms, want 0", got)
+		}
+	})
+}
+
+func TestThrottleDoesNotPerturbFaultStream(t *testing.T) {
+	// A throttled arrival is rejected before any RNG draw, so the fault
+	// schedule seen by admitted invocations is identical with and without
+	// throttled traffic interleaved.
+	kinds := func(throttleNoise bool) []FaultKind {
+		env := simnet.NewEnv()
+		cfg := fastCfg()
+		cfg.MaxConcurrency = 1
+		cfg.Faults = FaultProfile{FailureProb: 0.3}
+		p := New(env, cfg, 42)
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(2e9) // 100 ms
+			return Payload{}, nil
+		})
+		var out []FaultKind
+		env.Go("driver", func(proc *simnet.Proc) {
+			for i := 0; i < 30; i++ {
+				_, err := p.InvokeFrom(proc, "f", Payload{})
+				var ie *InvokeError
+				if errors.As(err, &ie) {
+					out = append(out, ie.Kind)
+				} else {
+					out = append(out, 0)
+				}
+			}
+		})
+		if throttleNoise {
+			env.Go("noise", func(proc *simnet.Proc) {
+				for i := 0; i < 50; i++ {
+					proc.Sleep(37 * time.Millisecond)
+					_, _ = p.InvokeFrom(proc, "f", Payload{})
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	quiet, noisy := kinds(false), kinds(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("fault schedule perturbed at %d: %v vs %v", i, quiet[i], noisy[i])
+		}
+	}
 }

@@ -62,6 +62,22 @@ type Config struct {
 	StorageLatencyMs float64
 	// ComputeNoise is the lognormal sigma applied to compute durations.
 	ComputeNoise float64
+	// MaxConcurrency caps the number of simultaneously running invocations
+	// per function (the real clouds' per-function concurrency limit). An
+	// invocation arriving at the cap is rejected immediately with a typed
+	// FaultThrottled error and bills nothing. Zero means unlimited (the
+	// pre-gateway behaviour).
+	MaxConcurrency int
+	// WarmIdleMs is the warm-instance idle expiry: an instance that has sat
+	// unused in the warm pool for WarmIdleMs or more of virtual time is
+	// reclaimed, so the next acquisition pays a cold start. Zero keeps
+	// instances warm forever (the pre-gateway behaviour).
+	WarmIdleMs float64
+	// PrewarmMs is the billed duration charged per prewarmed instance: a
+	// warm-up ping occupies the instance for roughly its cold-start time, and
+	// the platform bills it like any other invocation. Zero makes prewarming
+	// free (the paper's idealization, and the pre-gateway behaviour).
+	PrewarmMs float64
 	// Faults injects platform failures; the zero value models a perfect
 	// cloud (the pre-fault-injection behaviour).
 	Faults FaultProfile
@@ -119,6 +135,10 @@ const (
 	// FaultEvicted: the platform reclaimed the hosting instance before
 	// the handler could run.
 	FaultEvicted
+	// FaultThrottled: the function was at its MaxConcurrency cap and the
+	// platform rejected the invocation before any work ran. Nothing is
+	// billed.
+	FaultThrottled
 )
 
 func (k FaultKind) String() string {
@@ -129,6 +149,8 @@ func (k FaultKind) String() string {
 		return "timeout"
 	case FaultEvicted:
 		return "evicted"
+	case FaultThrottled:
+		return "throttled"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -155,6 +177,8 @@ func (e *InvokeError) Error() string {
 		return fmt.Sprintf("platform: function %q: killed at the %0.f ms execution timeout", e.Fn, e.Res.HandlerMs)
 	case FaultEvicted:
 		return fmt.Sprintf("platform: function %q: instance evicted before execution", e.Fn)
+	case FaultThrottled:
+		return fmt.Sprintf("platform: function %q: throttled at its concurrency limit", e.Fn)
 	}
 	return fmt.Sprintf("platform: function %q: injected invocation failure", e.Fn)
 }
@@ -276,11 +300,15 @@ type InvokeResult struct {
 	ColdStart bool
 }
 
-// functionDef is a registered function with its warm-instance pool.
+// functionDef is a registered function with its warm-instance pool. The
+// pool holds each idle instance's last-used virtual time; acquisition is
+// LIFO (most recently used first), which keeps the pool small under idle
+// expiry, exactly like the real clouds' instance reuse.
 type functionDef struct {
 	name    string
 	handler Handler
-	warm    int
+	warm    []time.Duration // idle instances' available-since stamps, oldest first
+	running int             // invocations currently in flight (MaxConcurrency accounting)
 }
 
 // Platform is one simulated serverless deployment.
@@ -289,41 +317,48 @@ type Platform struct {
 	env *simnet.Env
 	m   *pmetrics
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	faultRng *rand.Rand // dedicated stream: faults don't perturb noise/overhead draws
-	fns      map[string]*functionDef
-	storage  map[string]Object
-	invoked  int64
-	faulted  int64
-	billedMs int64
+	mu              sync.Mutex
+	rng             *rand.Rand
+	faultRng        *rand.Rand // dedicated stream: faults don't perturb noise/overhead draws
+	fns             map[string]*functionDef
+	storage         map[string]Object
+	invoked         int64
+	faulted         int64
+	billedMs        int64
+	prewarmBilledMs int64
 }
 
 // pmetrics caches the platform's metric handles so the invocation hot path
 // pays no registry lookups.
 type pmetrics struct {
-	reg          *trace.Registry
-	invocations  *trace.Counter
-	coldStarts   *trace.Counter
-	billedMs     *trace.Counter
-	faultFailure *trace.Counter
-	faultTimeout *trace.Counter
-	faultEvicted *trace.Counter
-	overheadMs   *trace.Histogram
-	handlerMs    *trace.Histogram
+	reg            *trace.Registry
+	invocations    *trace.Counter
+	coldStarts     *trace.Counter
+	billedMs       *trace.Counter
+	faultFailure   *trace.Counter
+	faultTimeout   *trace.Counter
+	faultEvicted   *trace.Counter
+	faultThrottled *trace.Counter
+	prewarms       *trace.Counter
+	warmExpired    *trace.Counter
+	overheadMs     *trace.Histogram
+	handlerMs      *trace.Histogram
 }
 
 func newPMetrics(reg *trace.Registry) *pmetrics {
 	return &pmetrics{
-		reg:          reg,
-		invocations:  reg.Counter("platform.invocations"),
-		coldStarts:   reg.Counter("platform.cold_starts"),
-		billedMs:     reg.Counter("platform.billed_ms"),
-		faultFailure: reg.Counter("platform.faults.failure"),
-		faultTimeout: reg.Counter("platform.faults.timeout"),
-		faultEvicted: reg.Counter("platform.faults.evicted"),
-		overheadMs:   reg.Histogram("platform.overhead_ms"),
-		handlerMs:    reg.Histogram("platform.handler_ms"),
+		reg:            reg,
+		invocations:    reg.Counter("platform.invocations"),
+		coldStarts:     reg.Counter("platform.cold_starts"),
+		billedMs:       reg.Counter("platform.billed_ms"),
+		faultFailure:   reg.Counter("platform.faults.failure"),
+		faultTimeout:   reg.Counter("platform.faults.timeout"),
+		faultEvicted:   reg.Counter("platform.faults.evicted"),
+		faultThrottled: reg.Counter("platform.faults.throttled"),
+		prewarms:       reg.Counter("platform.prewarms"),
+		warmExpired:    reg.Counter("platform.warm_expired"),
+		overheadMs:     reg.Histogram("platform.overhead_ms"),
+		handlerMs:      reg.Histogram("platform.handler_ms"),
 	}
 }
 
@@ -379,17 +414,74 @@ func (p *Platform) Register(name string, h Handler) error {
 }
 
 // Prewarm adds n warm instances of the function, modeling the paper's
-// warm-up pings (§III-A); the amortized ping cost is ignored, as in the
-// paper.
+// warm-up pings (§III-A). When the platform charges for warm-up pings
+// (Config.PrewarmMs > 0), each prewarmed instance bills PrewarmMs at the
+// billing granularity — prewarming buys latency with money, which is the
+// whole trade-off the gateway's autoscaling policies navigate. With
+// PrewarmMs zero the ping cost is ignored, as in the paper.
 func (p *Platform) Prewarm(name string, n int) error {
+	now := p.env.Now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	f, ok := p.fns[name]
 	if !ok {
+		p.mu.Unlock()
 		return fmt.Errorf("platform: prewarm of unknown function %q", name)
 	}
-	f.warm += n
+	var cost int64
+	if p.cfg.PrewarmMs > 0 {
+		cost = billed(p.cfg.PrewarmMs, p.cfg.BillingGranMs) * int64(n)
+		p.billedMs += cost
+		p.prewarmBilledMs += cost
+	}
+	for i := 0; i < n; i++ {
+		f.warm = append(f.warm, now)
+	}
+	p.mu.Unlock()
+	p.m.prewarms.Add(int64(n))
+	if cost > 0 {
+		p.m.billedMs.Add(cost)
+	}
 	return nil
+}
+
+// expireWarmLocked drops instances that have idled in the pool for
+// WarmIdleMs or more of virtual time. Expiry is evaluated lazily, on every
+// pool access, which is deterministic because accesses happen at virtual
+// times fixed by the simulation. It returns how many instances expired.
+func (p *Platform) expireWarmLocked(f *functionDef, now time.Duration) int {
+	idle := p.cfg.WarmIdleMs
+	if idle <= 0 {
+		return 0
+	}
+	cutoff := msToDur(idle)
+	n := 0
+	for n < len(f.warm) && now-f.warm[n] >= cutoff {
+		n++
+	}
+	if n > 0 {
+		f.warm = f.warm[n:]
+	}
+	return n
+}
+
+// WarmCount returns the function's current idle warm-instance count after
+// applying idle expiry at the current virtual time. Autoscaling controllers
+// poll it to decide how many instances to prewarm.
+func (p *Platform) WarmCount(name string) int {
+	now := p.env.Now()
+	p.mu.Lock()
+	f, ok := p.fns[name]
+	if !ok {
+		p.mu.Unlock()
+		return 0
+	}
+	expired := p.expireWarmLocked(f, now)
+	n := len(f.warm)
+	p.mu.Unlock()
+	if expired > 0 {
+		p.m.warmExpired.Add(int64(expired))
+	}
+	return n
 }
 
 // Invocations returns the total number of completed invocations (including
@@ -409,13 +501,23 @@ func (p *Platform) Faulted() int64 {
 }
 
 // BilledMsTotal returns the billed milliseconds of every settled
-// invocation, successful or not. Unlike per-query roll-ups, it also counts
-// attempts whose caller stopped waiting (abandoned stragglers), so it is
-// the authoritative cost figure for chaos experiments.
+// invocation, successful or not, plus prewarm charges. Unlike per-query
+// roll-ups, it also counts attempts whose caller stopped waiting (abandoned
+// stragglers), so it is the authoritative cost figure for chaos and load
+// experiments.
 func (p *Platform) BilledMsTotal() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.billedMs
+}
+
+// PrewarmBilledMs returns the portion of BilledMsTotal charged for warm-up
+// pings (zero unless Config.PrewarmMs is set). Per-query trace roll-ups
+// exclude it: no invocation span carries it.
+func (p *Platform) PrewarmBilledMs() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.prewarmBilledMs
 }
 
 // Ctx is the execution context of one running function instance.
@@ -595,8 +697,8 @@ func (p *Platform) invokeAsync(from *Ctx, parent *trace.Span, name string, paylo
 func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, name string, payload Payload) (InvokeResult, error) {
 	p.mu.Lock()
 	f, ok := p.fns[name]
-	p.mu.Unlock()
 	if !ok {
+		p.mu.Unlock()
 		err := fmt.Errorf("platform: invoke of unknown function %q", name)
 		sp.Fail("", err.Error())
 		sp.EndSpan()
@@ -604,6 +706,25 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, n
 	}
 
 	var res InvokeResult
+
+	// Concurrency-limit admission: an invocation arriving while
+	// MaxConcurrency others are in flight is rejected before any work —
+	// no upload, no fault draws (the fault schedule of admitted
+	// invocations is unperturbed), and nothing billed.
+	if p.cfg.MaxConcurrency > 0 && f.running >= p.cfg.MaxConcurrency {
+		p.invoked++
+		p.faulted++
+		p.mu.Unlock()
+		p.m.invocations.Inc()
+		p.m.faultThrottled.Inc()
+		ierr := &InvokeError{Kind: FaultThrottled, Fn: name, Res: res}
+		sp.SetBilled(0, 0)
+		sp.Fail(FaultThrottled.String(), ierr.Error())
+		sp.EndSpan()
+		return res, ierr
+	}
+	f.running++
+	p.mu.Unlock()
 
 	// Request issuance + upload: function callers pay the per-request CPU
 	// cost and serialize on their uplink; external clients only pay the
@@ -653,20 +774,27 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, n
 		p.mu.Unlock()
 	}
 
-	// Instance acquisition: warm pool or cold start.
+	// Instance acquisition: warm pool (most recently used instance first,
+	// after expiring instances that idled past WarmIdleMs) or cold start.
+	now := proc.Now()
 	p.mu.Lock()
-	if f.warm > 0 {
-		f.warm--
+	expired := p.expireWarmLocked(f, now)
+	if n := len(f.warm); n > 0 {
+		f.warm = f.warm[:n-1]
 	} else {
 		res.ColdStart = true
 	}
 	p.mu.Unlock()
+	if expired > 0 {
+		p.m.warmExpired.Add(int64(expired))
+	}
 
 	if evicted {
 		// The platform reclaimed the instance between dispatch and
 		// execution: the handler never runs, nothing is billed, and the
 		// claimed warm instance (if any) is destroyed.
 		p.mu.Lock()
+		f.running--
 		p.invoked++
 		p.faulted++
 		p.mu.Unlock()
@@ -711,11 +839,14 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, n
 	res.TotalBilledMs = res.BilledMs + ctx.children.Load()
 
 	// Settle the invocation exactly once: the instance returns to the warm
-	// pool unless the platform killed it, and the invocation counts (and
-	// bills) even if the handler failed.
+	// pool (stamped with the current virtual time for idle expiry) unless
+	// the platform killed it, and the invocation counts (and bills) even if
+	// the handler failed.
+	settleAt := proc.Now()
 	p.mu.Lock()
+	f.running--
 	if !timedOut {
-		f.warm++
+		f.warm = append(f.warm, settleAt)
 	}
 	p.invoked++
 	p.billedMs += res.BilledMs

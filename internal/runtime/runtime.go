@@ -175,6 +175,15 @@ func (d *Deployment) workerName(group, part int) string {
 // strip it from serialized traces to stay stable across test orderings.
 func (d *Deployment) Prefix() string { return d.prefix }
 
+// Platform returns the platform the deployment serves on. Gateways and
+// autoscalers use it to observe warm pools and billed totals.
+func (d *Deployment) Platform() *platform.Platform { return d.p }
+
+// WarmSets reports how many warm instance sets the deployment has standing
+// by, counted as the master function's idle warm instances (Prewarm warms
+// exactly one master per set).
+func (d *Deployment) WarmSets() int { return d.p.WarmCount(d.Master) }
+
 // Prewarm warms the master and one instance of every worker function,
 // modeling Gillis's periodic warm-up pings (§III-A).
 func (d *Deployment) Prewarm() error {

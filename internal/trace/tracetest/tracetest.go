@@ -139,7 +139,7 @@ func CheckBilledAttribution(t testing.TB, tr *trace.Trace) {
 
 // faultKinds are the typed platform fault kinds a failed invocation span
 // may carry.
-var faultKinds = map[string]bool{"failure": true, "timeout": true, "evicted": true}
+var faultKinds = map[string]bool{"failure": true, "timeout": true, "evicted": true, "throttled": true}
 
 // CheckFaultKinds asserts every failed invocation span carries a typed
 // platform fault kind, and returns how many failed invocation spans the

@@ -13,7 +13,11 @@ import (
 )
 
 // Poisson returns arrival times of a homogeneous Poisson process with the
-// given rate (queries per second) over [0, dur).
+// given rate (queries per second) over [0, dur). Arrival times are strictly
+// increasing: an exponential gap that truncates to zero nanoseconds (possible
+// at high rates, since ExpFloat64 can return values arbitrarily close to 0)
+// is floored at 1 ns so downstream consumers — the gateway's FIFO admission
+// in particular — never see coincident arrivals.
 func Poisson(rng *rand.Rand, ratePerSec float64, dur time.Duration) ([]time.Duration, error) {
 	if ratePerSec <= 0 {
 		return nil, fmt.Errorf("workload: rate must be positive, got %v", ratePerSec)
@@ -25,6 +29,9 @@ func Poisson(rng *rand.Rand, ratePerSec float64, dur time.Duration) ([]time.Dura
 	t := time.Duration(0)
 	for {
 		gap := time.Duration(rng.ExpFloat64() / ratePerSec * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
 		t += gap
 		if t >= dur {
 			return out, nil
@@ -83,7 +90,20 @@ func Bursty(rng *rand.Rand, spec BurstSpec, dur time.Duration) ([]time.Duration,
 	}
 	out := append(base, extra...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	// The base and extra streams are independent, so merging can produce
+	// ties. Nudge ties forward by 1 ns to keep arrivals strictly
+	// increasing, dropping any arrival the nudge pushes past dur.
+	dedup := out[:0]
+	for _, t := range out {
+		if n := len(dedup); n > 0 && t <= dedup[n-1] {
+			t = dedup[n-1] + time.Nanosecond
+		}
+		if t >= dur {
+			break
+		}
+		dedup = append(dedup, t)
+	}
+	return dedup, nil
 }
 
 // InBurst reports whether time t falls inside a burst window of the spec.

@@ -102,3 +102,49 @@ func TestDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestStrictMonotonicityProperty sweeps 100 seeds and asserts, for both
+// generators, that arrivals are strictly increasing (no coincident or
+// zero-gap arrivals — ExpFloat64 can truncate to a 0 ns gap, and the
+// Bursty merge can tie), stay inside [0, dur), and land within a loose
+// statistical envelope of the configured rate.
+func TestStrictMonotonicityProperty(t *testing.T) {
+	const dur = 10 * time.Second
+	spec := BurstSpec{BaseRate: 100, BurstRate: 2000, Period: 2 * time.Second, BurstLen: 500 * time.Millisecond}
+	// Expected counts: Poisson 3000 qps * 10 s; Bursty 100*10 steady plus
+	// (2000-100)*2.5 s of burst windows.
+	const poissonRate = 3000.0
+	wantPoisson := poissonRate * dur.Seconds()
+	wantBursty := spec.BaseRate*dur.Seconds() + (spec.BurstRate-spec.BaseRate)*2.5
+
+	check := func(t *testing.T, name string, seed int64, arrivals []time.Duration, want float64) {
+		t.Helper()
+		for i, a := range arrivals {
+			if a < 0 || a >= dur {
+				t.Fatalf("%s seed %d: arrival %d = %v outside [0, %v)", name, seed, i, a, dur)
+			}
+			if i > 0 && a <= arrivals[i-1] {
+				t.Fatalf("%s seed %d: arrivals not strictly increasing at %d: %v then %v",
+					name, seed, i, arrivals[i-1], a)
+			}
+		}
+		// 6 sigma on a Poisson count keeps 100 seeds flake-free.
+		if got, tol := float64(len(arrivals)), 6*math.Sqrt(want); math.Abs(got-want) > tol {
+			t.Fatalf("%s seed %d: %v arrivals, want %v±%v", name, seed, got, want, tol)
+		}
+	}
+
+	for seed := int64(0); seed < 100; seed++ {
+		p, err := Poisson(rand.New(rand.NewSource(seed)), poissonRate, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, "Poisson", seed, p, wantPoisson)
+
+		b, err := Bursty(rand.New(rand.NewSource(seed)), spec, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, "Bursty", seed, b, wantBursty)
+	}
+}

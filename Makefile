@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform
 	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis \
 	./internal/gateway
 
-.PHONY: ci lint vet build test race chaos cover bench-kernels bench-chaos bench-load
+.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load
 
 ci: lint build test race chaos
 
@@ -50,9 +50,15 @@ chaos:
 cover:
 	./scripts/check_coverage.sh
 
-# Regenerate the checked-in kernel benchmark baseline on this machine.
+# Run the kernel benches and fail if any ns/op regresses more than 10%
+# against the checked-in BENCH_kernels.json baseline.
 bench-kernels:
-	$(GO) run ./cmd/gillis-bench -figs kernels -kernels-json BENCH_kernels.json
+	$(GO) run ./cmd/gillis-bench -figs kernels -kernels-baseline BENCH_kernels.json -kernels-check
+
+# Re-pin the kernel baseline on this machine; the new file carries
+# before/after speedup columns relative to the previous pin.
+bench-kernels-pin:
+	$(GO) run ./cmd/gillis-bench -figs kernels -kernels-baseline BENCH_kernels.json -kernels-json BENCH_kernels.json
 
 # Regenerate the checked-in chaos baseline (fully seeded: same output on
 # any machine).

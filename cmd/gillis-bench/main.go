@@ -6,7 +6,8 @@
 //	gillis-bench [-figs 1,7,9,10,11,12,13,14,15,kernels,chaos] [-seed N]
 //	             [-queries N] [-quick] [-out FILE] [-parallelism N]
 //	             [-faults R1,R2,...] [-chaos-json FILE]
-//	             [-kernels-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	             [-kernels-json FILE] [-kernels-baseline FILE] [-kernels-check]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 //	             [-trace-json FILE] [-load] [-load-json FILE]
 //
 // -trace-json serves one seeded resilient fork-join query of the chaos
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -74,6 +76,8 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "also write tables to this file")
 	parallelism := fs.Int("parallelism", 0, "kernel parallelism cap for Real-mode math (0 = GOMAXPROCS)")
 	kernelsJSON := fs.String("kernels-json", "", "write the kernels figure as JSON to this file (BENCH_kernels.json baseline)")
+	kernelsBaseline := fs.String("kernels-baseline", "", "annotate the kernels figure with before/after columns against this prior baseline JSON")
+	kernelsCheck := fs.Bool("kernels-check", false, "fail if any kernel ns/op regresses more than 10% against -kernels-baseline")
 	faultsFlag := fs.String("faults", "", "comma-separated fault rates for the chaos figure (default 0.02,0.05,0.10)")
 	chaosJSON := fs.String("chaos-json", "", "write the chaos figure as JSON to this file (BENCH_chaos.json baseline)")
 	loadFlag := fs.Bool("load", false, "run the serving-gateway load sweep (SLO attainment + cost vs burst rate x policy), skipping the figure sweep")
@@ -180,19 +184,59 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", fig.id, err)
 		}
-		fmt.Fprintln(sink, res.Table())
-		fmt.Fprintf(sink, "(figure %s regenerated in %v)\n\n", fig.id, time.Since(start).Round(time.Millisecond))
-		if fig.id == "kernels" && *kernelsJSON != "" {
+		if fig.id == "kernels" && *kernelsBaseline != "" {
 			report, ok := res.(*bench.KernelReport)
 			if !ok {
 				return fmt.Errorf("kernels figure returned %T", res)
 			}
-			js, err := report.JSON()
+			base, err := readKernelBaseline(*kernelsBaseline)
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(*kernelsJSON, js, 0o644); err != nil {
-				return err
+			report.Compare(base)
+		}
+		fmt.Fprintln(sink, res.Table())
+		fmt.Fprintf(sink, "(figure %s regenerated in %v)\n\n", fig.id, time.Since(start).Round(time.Millisecond))
+		if fig.id == "kernels" {
+			report, ok := res.(*bench.KernelReport)
+			if !ok {
+				return fmt.Errorf("kernels figure returned %T", res)
+			}
+			if *kernelsJSON != "" {
+				js, err := report.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*kernelsJSON, js, 0o644); err != nil {
+					return err
+				}
+			}
+			if *kernelsCheck {
+				if *kernelsBaseline == "" {
+					return fmt.Errorf("-kernels-check requires -kernels-baseline")
+				}
+				err := report.CheckRegression(0.10)
+				if err != nil {
+					// A sub-millisecond kernel can blow the gate on one
+					// noisy sample (co-tenant or frequency jitter);
+					// re-measure once before declaring a regression. A
+					// real slowdown fails both attempts.
+					fmt.Fprintf(sink, "kernels: %v\nkernels: re-measuring once to rule out noise\n", err)
+					retry, rerr := bench.Kernels(ctx)
+					if rerr != nil {
+						return rerr
+					}
+					base, berr := readKernelBaseline(*kernelsBaseline)
+					if berr != nil {
+						return berr
+					}
+					retry.Compare(base)
+					err = retry.CheckRegression(0.10)
+				}
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(sink, "kernels: no ns/op regression beyond 10%% of %s\n", *kernelsBaseline)
 			}
 		}
 		if fig.id == "chaos" && *chaosJSON != "" {
@@ -213,6 +257,19 @@ func run(args []string, stdout io.Writer) error {
 		return file.Close()
 	}
 	return nil
+}
+
+// readKernelBaseline loads a previously written BENCH_kernels.json report.
+func readKernelBaseline(path string) (*bench.KernelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("kernels baseline: %w", err)
+	}
+	var r bench.KernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("kernels baseline %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // parseRates parses the -faults comma-separated probability list.

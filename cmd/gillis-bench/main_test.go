@@ -143,3 +143,78 @@ func TestRunLoadWritesJSONBaseline(t *testing.T) {
 		t.Fatalf("baseline JSON malformed:\n%s", data)
 	}
 }
+
+// TestRunKernelsBaselineCheck drives the -kernels-baseline/-kernels-check
+// gate deterministically: a baseline with absurdly slow pins always passes,
+// one with impossibly fast pins always fails (twice — once on the first
+// sweep, once on the noise-retry sweep).
+func TestRunKernelsBaselineCheck(t *testing.T) {
+	dir := t.TempDir()
+	pin := filepath.Join(dir, "pin.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-figs", "kernels", "-quick", "-kernels-json", pin}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rewrite := func(path string, ns int64) string {
+		base, err := readKernelBaseline(pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Results {
+			base.Results[i].NsPerOp = ns
+		}
+		js, err := base.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := filepath.Join(dir, path)
+		if err := os.WriteFile(out, js, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	slow := rewrite("slow.json", 1<<40)
+	buf.Reset()
+	if err := run([]string{"-figs", "kernels", "-quick", "-kernels-baseline", slow, "-kernels-check"}, &buf); err != nil {
+		t.Fatalf("check against a slower baseline must pass: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no ns/op regression") || !strings.Contains(buf.String(), "base ns/op") {
+		t.Fatalf("missing check verdict or baseline columns:\n%s", buf.String())
+	}
+
+	fast := rewrite("fast.json", 1)
+	buf.Reset()
+	err := run([]string{"-figs", "kernels", "-quick", "-kernels-baseline", fast, "-kernels-check"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed more than 10%") {
+		t.Fatalf("check against an impossibly fast baseline must fail, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "re-measuring once") {
+		t.Fatalf("gate must retry before failing:\n%s", buf.String())
+	}
+}
+
+// TestRunKernelsCheckRequiresBaseline: the gate has nothing to compare
+// against without -kernels-baseline.
+func TestRunKernelsCheckRequiresBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-figs", "kernels", "-quick", "-kernels-check"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-kernels-baseline") {
+		t.Fatalf("want missing-baseline error, got %v", err)
+	}
+}
+
+// TestReadKernelBaselineErrors covers the two failure shapes: missing file
+// and malformed JSON.
+func TestReadKernelBaselineErrors(t *testing.T) {
+	if _, err := readKernelBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readKernelBaseline(bad); err == nil {
+		t.Fatal("malformed baseline JSON must error")
+	}
+}

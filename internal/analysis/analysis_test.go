@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -113,5 +116,67 @@ func TestAllStable(t *testing.T) {
 	}
 	if got, want := strings.Join(names, ","), "errdrop,floatacc,maporder,niltrace,nodeterm"; got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
+	}
+}
+
+// TestFileMatchesHost pins the loader's build-constraint filtering: files
+// the toolchain would not compile on this host must not reach the
+// type-checker.
+func TestFileMatchesHost(t *testing.T) {
+	otherArch := "arm64"
+	if runtime.GOARCH == "arm64" {
+		otherArch = "amd64"
+	}
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"plain.go", "package p\n", true},
+		{"x_" + runtime.GOARCH + ".go", "package p\n", true},
+		{"x_" + otherArch + ".go", "package p\n", false},
+		{"x_" + otherOS + ".go", "package p\n", false},
+		{"x_noasm.go", "//go:build !" + runtime.GOARCH + "\n\npackage p\n", false},
+		{"x_any.go", "//go:build " + runtime.GOARCH + " || " + otherArch + "\n\npackage p\n", true},
+		{"x_comment.go", "// just a comment\npackage p\n//go:build " + otherArch + "\n", true},
+	}
+	for _, tc := range cases {
+		if got := fileMatchesHost(tc.name, []byte(tc.src)); got != tc.want {
+			t.Errorf("fileMatchesHost(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestLoadHonorsBuildConstraints loads a package whose per-architecture
+// variants declare the same symbol behind opposite build tags — exactly the
+// gemm dispatch layout in internal/nn. Without constraint filtering the
+// type-checker reports a redeclaration.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	// The loader resolves import paths relative to the enclosing module;
+	// t.TempDir is outside it, so build the fixture under this package's
+	// testdata tree instead.
+	dir, err := os.MkdirTemp("testdata", "constraints-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	host := fmt.Sprintf("//go:build %s\n\npackage p\n\nvar impl = %q\n", runtime.GOARCH, runtime.GOARCH)
+	other := fmt.Sprintf("//go:build !%s\n\npackage p\n\nvar impl = \"fallback\"\n", runtime.GOARCH)
+	if err := os.WriteFile(filepath.Join(dir, "impl_host.go"), []byte(host), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "impl_other.go"), []byte(other), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("constraint-split package failed to load: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 file, got %d packages", len(pkgs))
 	}
 }

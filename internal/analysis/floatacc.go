@@ -7,16 +7,26 @@ import (
 )
 
 // AnalyzerFloatacc flags floating-point compound accumulation (+=, -=, *=,
-// /=) into variables captured from outside a go-spawned closure. Float
-// addition is not associative, so concurrent accumulation order changes the
-// result between runs and parallelism levels — the exact bug class
-// internal/par's disjoint-output discipline exists to prevent. par itself
-// is the blessed home for reductions and is skipped.
+// /=) into variables captured from outside a concurrently-executed closure:
+// closures spawned with a go statement, and bodies handed to par.For — the
+// kernel engine's actual concurrency entry point. Float addition is not
+// associative, so concurrent accumulation order changes the result between
+// runs and parallelism levels — the exact bug class internal/par's
+// disjoint-output discipline exists to prevent.
+//
+// Inside par.For bodies, compound assignment to an *element* of a captured
+// slice (c[j] += ...) is sanctioned: par.For's contract hands each body
+// invocation a disjoint [lo, hi) range, so an indexed write is owned by
+// exactly one goroutine — this is precisely how the GEMM micro-kernel
+// accumulates output panels. Captured *scalar* accumulation has no owner
+// and is still flagged. par itself is the blessed home for the primitive
+// and is skipped.
 var AnalyzerFloatacc = &Analyzer{
 	Name: "floatacc",
 	Doc: "flags float += accumulation into captured variables inside " +
-		"go-spawned closures; racing non-associative adds break bitwise " +
-		"determinism — reduce through internal/par's disjoint-range helpers",
+		"go-spawned closures and par.For bodies; racing non-associative " +
+		"adds break bitwise determinism — write disjoint slice elements " +
+		"or reduce through internal/par's disjoint-range helpers",
 	Run: runFloatacc,
 }
 
@@ -31,34 +41,63 @@ func runFloatacc(pass *Pass) {
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			gostmt, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			// Inspect every closure in the go statement: `go func(){...}()`
-			// and closures passed as arguments to the spawned call.
-			ast.Inspect(gostmt.Call, func(m ast.Node) bool {
-				lit, ok := m.(*ast.FuncLit)
-				if !ok {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// Inspect every closure in the go statement:
+				// `go func(){...}()` and closures passed as arguments to
+				// the spawned call.
+				ast.Inspect(n.Call, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						checkClosure(pass, lit, false)
+					}
+					return true
+				})
+			case *ast.CallExpr:
+				if !isParFor(pass, n) {
 					return true
 				}
-				checkClosure(pass, lit)
-				return true
-			})
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkClosure(pass, lit, true)
+					}
+				}
+			}
 			return true
 		})
 	}
 }
 
+// isParFor reports whether call invokes gillis/internal/par.For.
+func isParFor(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "For" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "gillis/internal/par"
+}
+
 // checkClosure reports float compound-assignments inside lit whose target
-// is declared outside the closure (i.e. shared state).
-func checkClosure(pass *Pass, lit *ast.FuncLit) {
+// is declared outside the closure (i.e. shared state). With
+// allowDisjointElements (the par.For discipline), indexed writes into a
+// captured slice are sanctioned — the body owns its [lo, hi) range — and
+// only captured scalars are flagged.
+func checkClosure(pass *Pass, lit *ast.FuncLit, allowDisjointElements bool) {
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || !compoundOps[as.Tok] || len(as.Lhs) != 1 {
 			return true
 		}
 		lhs := as.Lhs[0]
+		if allowDisjointElements {
+			if _, ok := lhs.(*ast.IndexExpr); ok {
+				return true
+			}
+		}
 		tv, ok := pass.Info.Types[lhs]
 		if !ok || !isFloat(tv.Type) {
 			return true
@@ -71,9 +110,13 @@ func checkClosure(pass *Pass, lit *ast.FuncLit) {
 		if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()) {
 			return true
 		}
+		context := "a go-spawned closure"
+		if allowDisjointElements {
+			context = "a par.For body"
+		}
 		pass.Reportf(as.Pos(),
-			"float accumulation `%s %s ...` into a variable captured by a go-spawned closure; accumulation order is scheduling-dependent, use internal/par's disjoint-range reduction",
-			root.Name, as.Tok)
+			"float accumulation `%s %s ...` into a variable captured by %s; accumulation order is scheduling-dependent, use internal/par's disjoint-range reduction",
+			root.Name, as.Tok, context)
 		return true
 	})
 }

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -156,6 +158,55 @@ func importPath(modRoot, modPath, dir string) (string, error) {
 	return modPath + "/" + rel, nil
 }
 
+// knownGOOS/knownGOARCH are the targets the filename-suffix convention
+// recognizes; the repo only splits on amd64, but the check mirrors the
+// toolchain's rule so future ports keep loading correctly.
+var knownGOOS = map[string]bool{
+	"linux": true, "darwin": true, "windows": true, "freebsd": true,
+	"netbsd": true, "openbsd": true, "js": true, "wasip1": true,
+}
+var knownGOARCH = map[string]bool{
+	"amd64": true, "arm64": true, "386": true, "arm": true,
+	"riscv64": true, "ppc64le": true, "s390x": true, "wasm": true,
+}
+
+// fileMatchesHost reports whether the toolchain would compile this file on
+// the host, honouring _GOOS/_GOARCH filename suffixes and //go:build
+// expressions. Files excluded by build constraints must not reach the
+// type-checker: per-architecture variants (gemm_amd64.go vs gemm_noasm.go)
+// declare the same symbols behind opposite tags.
+func fileMatchesHost(name string, src []byte) bool {
+	tagOK := func(tag string) bool {
+		return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" || tag == "cgo"
+	}
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	for i := len(parts) - 1; i > 0 && len(parts)-i <= 2; i-- {
+		p := parts[i]
+		if (knownGOOS[p] || knownGOARCH[p]) && p != runtime.GOOS && p != runtime.GOARCH {
+			return false
+		}
+	}
+	// A //go:build line is only valid before the package clause; scanning
+	// stops there.
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		if !expr.Eval(tagOK) {
+			return false
+		}
+	}
+	return true
+}
+
 // loadDir parses and type-checks one directory, returning nil when it holds
 // no non-test Go sources.
 func loadDir(fset *token.FileSet, imp types.Importer, modRoot, modPath, dir string) (*Package, error) {
@@ -178,11 +229,21 @@ func loadDir(fset *token.FileSet, imp types.Importer, modRoot, modPath, dir stri
 
 	var files []*ast.File
 	for _, n := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if !fileMatchesHost(n, src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
 	}
 
 	path, err := importPath(modRoot, modPath, dir)

@@ -1,8 +1,12 @@
 // Package floatacc is the floatacc fixture: float accumulation racing
-// inside go-spawned closures versus the safe shapes.
+// inside go-spawned closures and par.For bodies versus the safe shapes.
 package floatacc
 
-import "sync"
+import (
+	"sync"
+
+	"gillis/internal/par"
+)
 
 // BadShared accumulates into a captured float from spawned goroutines.
 func BadShared(xs []float64) float64 {
@@ -54,6 +58,44 @@ func GoodSerial(xs []float64) float64 {
 		sum += x
 	}
 	return sum
+}
+
+// BadParForScalar accumulates into a captured scalar from a par.For body:
+// the chunks race on sum, so the reduction order depends on scheduling.
+func BadParForScalar(xs []float64) float64 {
+	var sum float64
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want: captured float accumulation
+		}
+	})
+	return sum
+}
+
+// GoodParForElements accumulates into disjoint elements of a captured
+// slice — the GEMM micro-kernel's sanctioned discipline: par.For hands the
+// body a [lo, hi) range it alone owns, so every element has exactly one
+// writer and the per-element accumulation order is the serial one.
+func GoodParForElements(out, xs []float64) {
+	par.For(len(out), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] += xs[i] * xs[i]
+		}
+	})
+}
+
+// GoodParForLocal reduces into a body-local accumulator before a single
+// indexed store; locals are per-invocation and never shared.
+func GoodParForLocal(out, xs []float64) {
+	par.For(len(out), len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := out[i]
+			for _, x := range xs {
+				acc += x
+			}
+			out[i] = acc
+		}
+	})
 }
 
 // AllowedSingleWriter is safe by construction and says so.

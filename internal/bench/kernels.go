@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -19,14 +20,20 @@ import (
 // baseline: regressions in single-core speed, multi-core scaling, or
 // allocation behaviour show up as diffs against it.
 
-// KernelResult is one (kernel, parallelism) measurement.
+// KernelResult is one (kernel, parallelism) measurement. The baseline
+// columns are filled in by Compare when a prior BENCH_kernels.json is
+// supplied: BaselineNsPerOp is the previous pin's time for the same
+// (kernel, parallelism) pair and SpeedupVsBaseline how much faster this run
+// is (>1 means improvement).
 type KernelResult struct {
-	Kernel      string  `json:"kernel"`
-	Parallelism int     `json:"parallelism"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Speedup     float64 `json:"speedup_vs_serial"`
+	Kernel            string  `json:"kernel"`
+	Parallelism       int     `json:"parallelism"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	Speedup           float64 `json:"speedup_vs_serial"`
+	BaselineNsPerOp   int64   `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 // KernelReport is the full sweep plus the hardware context needed to
@@ -59,18 +66,14 @@ func kernelCases() []kernelCase {
 	}
 }
 
-// kernelLevels returns the parallelism sweep: 1, 2, and every hardware
-// thread, deduplicated.
+// kernelLevels returns the fixed parallelism sweep {1, 2, 4, 8}. The levels
+// are pinned rather than GOMAXPROCS-derived so the checked-in baseline has
+// the same shape on every machine: par.SetParallelism oversubscribes
+// freely, and the fixed-order accumulation contract makes oversubscription
+// bitwise safe, so running 8 workers on a single core only costs scheduling
+// overhead.
 func kernelLevels() []int {
-	n := runtime.GOMAXPROCS(0)
-	levels := []int{1}
-	if n >= 2 {
-		levels = append(levels, 2)
-	}
-	if n > 2 {
-		levels = append(levels, n)
-	}
-	return levels
+	return []int{1, 2, 4, 8}
 }
 
 // measure times op.Forward(x) for at least minDuration (and 5 iterations),
@@ -104,22 +107,39 @@ func measure(op nn.Op, x *tensor.Tensor, minDuration time.Duration) (nsPerOp, al
 }
 
 // Kernels runs the kernel microbenchmark sweep. Quick mode trims the
-// per-measurement budget so the sweep stays test-suite friendly.
+// per-measurement budget so the sweep stays test-suite friendly. Each
+// (kernel, level) pair is measured over several passes and the median pass
+// is reported: the median tracks typical machine performance instead of a
+// lucky burst window, so a baseline pinned from it is one a later check run
+// can actually reproduce within the 10% regression gate.
 func Kernels(c *Context) (*KernelReport, error) {
-	budget := 300 * time.Millisecond
+	budget, passes := 500*time.Millisecond, 5
 	if c.Quick {
-		budget = 20 * time.Millisecond
+		budget, passes = 20*time.Millisecond, 1
 	}
 	report := &KernelReport{GoMaxProcs: runtime.GOMAXPROCS(0), Levels: kernelLevels()}
 	for _, kc := range kernelCases() {
 		var serialNs int64
 		for _, p := range report.Levels {
+			type pass struct{ ns, allocs, bytes int64 }
+			samples := make([]pass, 0, passes)
 			restore := par.SetParallelism(p)
-			nsOp, allocs, bytes, err := measure(kc.op, kc.in, budget)
+			var err error
+			for i := 0; i < passes; i++ {
+				var s pass
+				s.ns, s.allocs, s.bytes, err = measure(kc.op, kc.in, budget)
+				if err != nil {
+					break
+				}
+				samples = append(samples, s)
+			}
 			restore()
 			if err != nil {
 				return nil, fmt.Errorf("kernel %s p=%d: %w", kc.name, p, err)
 			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i].ns < samples[j].ns })
+			med := samples[len(samples)/2]
+			nsOp, allocs, bytes := med.ns, med.allocs, med.bytes
 			if p == 1 {
 				serialNs = nsOp
 			}
@@ -140,14 +160,76 @@ func Kernels(c *Context) (*KernelReport, error) {
 	return report, nil
 }
 
+// Compare annotates r's results with before/after columns against a prior
+// baseline report: every (kernel, parallelism) pair present in both gets
+// the baseline's ns/op and this run's speedup relative to it. Pairs the
+// baseline does not cover (new kernels, new sweep levels) are left blank.
+func (r *KernelReport) Compare(baseline *KernelReport) {
+	prior := make(map[string]int64, len(baseline.Results))
+	for _, b := range baseline.Results {
+		prior[fmt.Sprintf("%s|%d", b.Kernel, b.Parallelism)] = b.NsPerOp
+	}
+	for i := range r.Results {
+		res := &r.Results[i]
+		if ns, ok := prior[fmt.Sprintf("%s|%d", res.Kernel, res.Parallelism)]; ok && ns > 0 && res.NsPerOp > 0 {
+			res.BaselineNsPerOp = ns
+			res.SpeedupVsBaseline = float64(ns) / float64(res.NsPerOp)
+		}
+	}
+}
+
+// CheckRegression returns an error naming every measurement whose ns/op
+// regressed more than tolerance (fractional: 0.10 means 10%) against its
+// baseline column. Results without a baseline entry are skipped — a new
+// kernel or sweep level cannot regress. Call Compare first.
+func (r *KernelReport) CheckRegression(tolerance float64) error {
+	var bad []string
+	for _, res := range r.Results {
+		if res.BaselineNsPerOp <= 0 {
+			continue
+		}
+		limit := float64(res.BaselineNsPerOp) * (1 + tolerance)
+		if float64(res.NsPerOp) > limit {
+			pct := 100 * (float64(res.NsPerOp)/float64(res.BaselineNsPerOp) - 1)
+			bad = append(bad, fmt.Sprintf("%s p=%d: %d ns/op vs baseline %d (+%.1f%%)",
+				res.Kernel, res.Parallelism, res.NsPerOp, res.BaselineNsPerOp, pct))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("kernel ns/op regressed more than %.0f%%:\n  %s",
+			tolerance*100, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
 // Table renders the sweep in the same tabular style as the figure runners.
+// Baseline columns appear only when Compare filled them in.
 func (r *KernelReport) Table() string {
+	hasBase := false
+	for _, res := range r.Results {
+		if res.BaselineNsPerOp > 0 {
+			hasBase = true
+			break
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Kernel forwards (GOMAXPROCS=%d)\n", r.GoMaxProcs)
-	fmt.Fprintf(&sb, "%-24s %4s %12s %9s %11s %12s\n", "kernel", "p", "ns/op", "speedup", "allocs/op", "bytes/op")
+	fmt.Fprintf(&sb, "%-24s %4s %12s %9s %11s %12s", "kernel", "p", "ns/op", "speedup", "allocs/op", "bytes/op")
+	if hasBase {
+		fmt.Fprintf(&sb, " %12s %9s", "base ns/op", "vs base")
+	}
+	sb.WriteByte('\n')
 	for _, res := range r.Results {
-		fmt.Fprintf(&sb, "%-24s %4d %12d %8.2fx %11d %12d\n",
+		fmt.Fprintf(&sb, "%-24s %4d %12d %8.2fx %11d %12d",
 			res.Kernel, res.Parallelism, res.NsPerOp, res.Speedup, res.AllocsPerOp, res.BytesPerOp)
+		if hasBase {
+			if res.BaselineNsPerOp > 0 {
+				fmt.Fprintf(&sb, " %12d %8.2fx", res.BaselineNsPerOp, res.SpeedupVsBaseline)
+			} else {
+				fmt.Fprintf(&sb, " %12s %9s", "-", "-")
+			}
+		}
+		sb.WriteByte('\n')
 	}
 	return strings.TrimRight(sb.String(), "\n")
 }

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gillis/internal/nn"
+	"gillis/internal/par"
+	"gillis/internal/tensor"
+)
+
+// buildConvBNReluNet is a small CNN exercising every fusion pattern:
+// conv+bn+relu, conv+relu, a residual branch that must NOT fuse (the conv
+// output has two consumers), dense+relu, and a redundant relu chain.
+func buildConvBNReluNet(t *testing.T) *Graph {
+	t.Helper()
+	g := New("fusenet", []int{3, 16, 16})
+	c1 := g.MustAdd(nn.NewConv2D("c1", 3, 8, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("b1", 8))
+	g.MustAdd(nn.NewReLU("r1"))
+	c2 := g.MustAdd(nn.NewConv2D("c2", 8, 8, 3, 1, 1)) // two consumers: no fusion
+	r2 := g.MustAdd(nn.NewReLU("r2"), c2)
+	g.MustAdd(nn.NewAdd("add"), c2, r2)
+	g.MustAdd(nn.NewConv2D("c3", 8, 12, 3, 1, 1))
+	g.MustAdd(nn.NewReLU("r3"))
+	g.MustAdd(nn.NewReLU("r3b")) // relu∘relu collapses
+	g.MustAdd(nn.NewFlatten("fl"))
+	g.MustAdd(nn.NewDense("fc", 12*16*16, 10))
+	g.MustAdd(nn.NewReLU("r4"))
+	g.MustAdd(nn.NewSoftmax("sm"))
+	_ = c1
+	return g
+}
+
+func TestFuseRewritesKnownPatterns(t *testing.T) {
+	g := buildConvBNReluNet(t)
+	g.Init(7)
+	fused, eliminated, err := Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absorbed: b1, r1 (into c1), r3 (into c3), r3b (collapsed), r4 (into fc).
+	if want := 5; eliminated != want {
+		t.Fatalf("eliminated %d nodes, want %d", eliminated, want)
+	}
+	kinds := map[string]int{}
+	for _, n := range fused.Nodes() {
+		kinds[fmt.Sprintf("%T", n.Op)]++
+	}
+	if kinds["*nn.FusedConv2D"] != 2 {
+		t.Fatalf("fused graph has %d FusedConv2D nodes, want 2", kinds["*nn.FusedConv2D"])
+	}
+	if kinds["*nn.FusedDense"] != 1 {
+		t.Fatalf("fused graph has %d FusedDense nodes, want 1", kinds["*nn.FusedDense"])
+	}
+	// c2 feeds two consumers; it must survive unfused alongside its ReLU.
+	if kinds["*nn.Conv2D"] != 1 || kinds["*nn.ReLU"] != 1 {
+		t.Fatalf("multi-consumer conv was rewritten: kinds=%v", kinds)
+	}
+	if fl, fu := mustFLOPs(t, fused), mustFLOPs(t, g); fl >= fu {
+		t.Fatalf("fused FLOPs %d not below unfused %d", fl, fu)
+	}
+	if fused.ParamCount() >= g.ParamCount() {
+		t.Fatalf("fused params %d not below unfused %d", fused.ParamCount(), g.ParamCount())
+	}
+}
+
+func mustFLOPs(t *testing.T, g *Graph) int64 {
+	t.Helper()
+	f, err := g.FLOPs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFusePreservesOutputsOnRandomModels is the fusion property test: on
+// randomly generated layer stacks, the fused graph must produce bitwise
+// identical outputs to the original, at several parallelism levels.
+func TestFusePreservesOutputsOnRandomModels(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g, in := randomModel(rng)
+			g.Init(seed + 100)
+			fused, _, err := Fuse(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restore := par.SetParallelism(1)
+			want, err := g.Forward(in)
+			restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{1, 3, 8} {
+				restore := par.SetParallelism(p)
+				got, err := fused.Forward(in)
+				restore()
+				if err != nil {
+					t.Fatalf("p=%d: %v", p, err)
+				}
+				if !tensor.Equal(got, want) {
+					t.Fatalf("p=%d: fused forward diverged from unfused graph", p)
+				}
+			}
+		})
+	}
+}
+
+// randomModel generates a random conv stack with interleaved BatchNorm/ReLU
+// in random combinations, ending in flatten + dense (+ optional relu).
+func randomModel(rng *rand.Rand) (*Graph, *tensor.Tensor) {
+	c, h, w := 3, 13, 13
+	g := New("rand", []int{c, h, w})
+	layers := 1 + rng.Intn(4)
+	for i := 0; i < layers; i++ {
+		outC := 4 + rng.Intn(9)
+		g.MustAdd(nn.NewConv2D(fmt.Sprintf("c%d", i), c, outC, 3, 1, 1))
+		c = outC
+		if rng.Intn(2) == 0 {
+			g.MustAdd(nn.NewBatchNorm(fmt.Sprintf("b%d", i), c))
+		}
+		for r := 0; r < rng.Intn(3); r++ { // zero, one, or chained ReLUs
+			g.MustAdd(nn.NewReLU(fmt.Sprintf("r%d_%d", i, r)))
+		}
+	}
+	g.MustAdd(nn.NewFlatten("fl"))
+	g.MustAdd(nn.NewDense("fc", c*h*w, 5+rng.Intn(10)))
+	if rng.Intn(2) == 0 {
+		g.MustAdd(nn.NewReLU("rf"))
+	}
+	return g, tensor.Rand(rng, 1, 3, h, w)
+}
+
+// TestFuseUninitializedBNLeftAlone: folding needs materialized statistics;
+// an uninitialized graph must round-trip through Fuse without BN folding
+// (ReLU-only rewrites are still fine).
+func TestFuseUninitializedBNLeftAlone(t *testing.T) {
+	g := New("uninit", []int{3, 8, 8})
+	g.MustAdd(nn.NewConv2D("c", 3, 4, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("b", 4))
+	g.MustAdd(nn.NewReLU("r"))
+	fused, eliminated, err := Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eliminated != 0 {
+		t.Fatalf("eliminated %d nodes from an uninitialized graph, want 0", eliminated)
+	}
+	if fused.Len() != g.Len() {
+		t.Fatalf("fused graph has %d nodes, want %d", fused.Len(), g.Len())
+	}
+}

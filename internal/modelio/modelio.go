@@ -193,6 +193,25 @@ func encodeOp(op nn.Op) (opSpec, error) {
 	case *nn.LSTM:
 		spec.Attrs["in"] = o.InSize
 		spec.Attrs["hidden"] = o.Hidden
+	case *nn.FusedConv2D:
+		// Kind() reports Conv2D for the perf model; the serialized kind must
+		// stay distinct so Load rebuilds the fused wrapper.
+		spec.Kind = "FusedConv2D"
+		spec.Attrs["inC"] = o.Conv.InC
+		spec.Attrs["outC"] = o.Conv.OutC
+		spec.Attrs["kernel"] = o.Conv.Kernel
+		spec.Attrs["stride"] = o.Conv.Stride
+		spec.Attrs["pad"] = o.Conv.Pad
+		if o.HasBN() {
+			spec.Attrs["bn"] = 1
+		}
+		if o.Relu {
+			spec.Attrs["relu"] = 1
+		}
+	case *nn.FusedDense:
+		spec.Kind = "FusedDense"
+		spec.Attrs["in"] = o.Dense.In
+		spec.Attrs["out"] = o.Dense.Out
 	case *nn.ReLU, *nn.Add, *nn.Softmax, *nn.Flatten, *nn.GlobalAvgPool, *nn.TakeLast, *nn.Concat:
 		// no attributes
 	default:
@@ -220,6 +239,18 @@ func decodeOp(spec opSpec) (nn.Op, error) {
 		return nn.NewAvgPool2D(spec.Name, a["kernel"], a["stride"]), nil
 	case "Dense":
 		return nn.NewDense(spec.Name, a["in"], a["out"]), nil
+	case "FusedConv2D":
+		conv := nn.NewConv2D(spec.Name, a["inC"], a["outC"], a["kernel"], a["stride"], a["pad"])
+		f := &nn.FusedConv2D{Conv: conv, Relu: a["relu"] == 1}
+		if a["bn"] == 1 {
+			// Placeholder affine so SetWeights expects (and installs) the
+			// folded scale/shift tensors from the weight block.
+			f.Scale = tensor.New(a["outC"])
+			f.Shift = tensor.New(a["outC"])
+		}
+		return f, nil
+	case "FusedDense":
+		return nn.NewFusedDense(nn.NewDense(spec.Name, a["in"], a["out"])), nil
 	case "LSTM":
 		return nn.NewLSTM(spec.Name, a["in"], a["hidden"]), nil
 	case "ReLU":

@@ -227,3 +227,46 @@ func TestRoundtripDepthwiseAndConcat(t *testing.T) {
 		t.Fatal("sliced depthwise roundtrip mismatch")
 	}
 }
+
+// TestRoundtripFusedGraph runs a graph through the fusion pass, serializes
+// it with weights, and checks the loaded copy (including the folded
+// scale/shift epilogue tensors) forwards bitwise identically.
+func TestRoundtripFusedGraph(t *testing.T) {
+	g := graph.New("fused", []int{3, 10, 10})
+	g.MustAdd(nn.NewConv2D("c1", 3, 6, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("b1", 6))
+	g.MustAdd(nn.NewReLU("r1"))
+	g.MustAdd(nn.NewConv2D("c2", 6, 8, 3, 1, 1))
+	g.MustAdd(nn.NewReLU("r2"))
+	g.MustAdd(nn.NewFlatten("fl"))
+	g.MustAdd(nn.NewDense("fc", 8*10*10, 5))
+	g.MustAdd(nn.NewReLU("r3"))
+	g.Init(13)
+	fg, eliminated, err := graph.Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eliminated != 4 {
+		t.Fatalf("eliminated %d nodes, want 4", eliminated)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, fg, true); err != nil {
+		t.Fatal(err)
+	}
+	fg2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Full(0.25, 3, 10, 10)
+	want, err := g.Forward(x) // the unfused original is the reference
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fg2.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, got) {
+		t.Fatal("loaded fused model must match the unfused original bitwise")
+	}
+}

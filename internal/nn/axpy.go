@@ -1,23 +1,11 @@
 package nn
 
-// axpy and dotAcc are the two inner-loop shapes every GEMM-like kernel in
-// this package reduces to. Keeping them in one place keeps the
-// bounds-check-free, vectorizable form of the loop in a single spot — and,
-// more importantly, pins down the accumulation order: both run strictly
-// left to right, index 0 upwards, which is what makes kernel outputs
-// bitwise reproducible across serial, parallel, and partitioned execution.
-
-// axpy accumulates a*x[i] into y[i] for every i. y must be at least as long
-// as x.
-func axpy(a float32, x, y []float32) {
-	y = y[:len(x)]
-	for i, v := range x {
-		y[i] += a * v
-	}
-}
-
-// dotAcc returns acc plus the dot product of x and w, accumulated left to
-// right. w must be at least as long as x.
+// dotAcc returns acc plus the dot product of x and w, accumulated strictly
+// left to right, index 0 upwards — one rounding per multiply and one per
+// add. DepthwiseConv2D's tiny k×k window dots keep this order (the GEMM
+// engine in gemm.go is the entry point for every matrix-shaped reduction);
+// the strict order is what makes its outputs bitwise reproducible across
+// serial, parallel, and partitioned execution.
 func dotAcc(acc float32, x, w []float32) float32 {
 	w = w[:len(x)]
 	for i, v := range x {

@@ -107,7 +107,7 @@ func (c *Conv2D) SetWeights(ws []*tensor.Tensor) error {
 
 // Forward implements Op with implicit zero padding on both axes.
 func (c *Conv2D) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
-	return c.forward(in, true)
+	return c.forward(in, true, nil)
 }
 
 // HKernel implements Spatial.
@@ -116,10 +116,20 @@ func (c *Conv2D) HKernel() (k, s, p int) { return c.Kernel, c.Stride, c.Pad }
 // ForwardValidH implements Spatial: zero padding is applied along width
 // only; the caller has supplied halo rows along height.
 func (c *Conv2D) ForwardValidH(in ...*tensor.Tensor) (*tensor.Tensor, error) {
-	return c.forward(in, false)
+	return c.forward(in, false, nil)
 }
 
-func (c *Conv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error) {
+// forward lowers the convolution onto the GEMM engine: the im2col transform
+// packs the input into a [InC*K*K][oh*ow] B panel in pooled scratch, and
+// gemmBias multiplies the [OutC][InC*K*K] weight rows against it. Zero
+// padding is synthesized directly while packing (out-of-range pixels become
+// zero panel entries), identical bitwise to convolving an explicitly padded
+// copy but without staging one. Each output element accumulates its K terms
+// strictly in (ic, ky, kx) order — the accumulation-order contract in
+// gemm.go — so outputs are bitwise identical at every parallelism level and
+// under spatial/channel partitioning. epi, if non-nil, is a fused
+// per-channel post-op applied to finished rows (see fused.go).
+func (c *Conv2D) forward(in []*tensor.Tensor, padH bool, epi *epilogue) (*tensor.Tensor, error) {
 	if err := checkOneInput("Conv2D", len(in)); err != nil {
 		return nil, err
 	}
@@ -130,45 +140,18 @@ func (c *Conv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error)
 	if x.Rank() != 3 || x.Dim(0) != c.InC {
 		return nil, fmt.Errorf("nn: Conv2D %q bad input %v", c.OpName, x.Shape())
 	}
-	// Explicitly pad, then run a valid convolution. This is the trick that
-	// makes halo-correct partitioned execution trivially exact: interior
-	// partitions receive real halo rows where the monolithic run would see
-	// neighbours, and boundary partitions receive the same zero rows. The
-	// padded copy is staged in the scratch arena rather than a fresh tensor.
 	h, w := x.Dim(1), x.Dim(2)
 	xd := x.Data()
-	if c.Pad > 0 {
-		padTop := 0
-		if padH {
-			padTop = c.Pad
-		}
-		ph, pw := h+2*padTop, w+2*c.Pad
-		pbuf := par.GetF32(c.InC * ph * pw)
-		defer par.PutF32(pbuf)
-		padded := *pbuf
-		clear(padded)
-		for ic := 0; ic < c.InC; ic++ {
-			for y := 0; y < h; y++ {
-				dst := (ic*ph+padTop+y)*pw + c.Pad
-				copy(padded[dst:dst+w], xd[(ic*h+y)*w:(ic*h+y)*w+w])
-			}
-		}
-		xd, h, w = padded, ph, pw
+	padTop, padL := 0, c.Pad
+	if padH {
+		padTop = c.Pad
 	}
-	oh := (h-c.Kernel)/c.Stride + 1
-	ow := (w-c.Kernel)/c.Stride + 1
+	oh := (h+2*padTop-c.Kernel)/c.Stride + 1
+	ow := (w+2*padL-c.Kernel)/c.Stride + 1
 	if oh <= 0 || ow <= 0 {
-		return nil, fmt.Errorf("nn: Conv2D %q empty output for padded input %v", c.OpName, []int{c.InC, h, w})
+		return nil, fmt.Errorf("nn: Conv2D %q empty output for input %v", c.OpName, x.Shape())
 	}
 	out := tensor.New(c.OutC, oh, ow)
-
-	// im2col + row-wise AXPY: each output element accumulates in exactly
-	// the (ic, ky, kx) order of the reference triple loop, so results are
-	// bitwise identical to naive convolution — partitioned-vs-monolithic
-	// equality tests rely on this — while the contiguous inner loops
-	// vectorize. Parallelism is over im2col rows and output channels: both
-	// write disjoint ranges, and no reduction is ever split, so outputs
-	// stay bitwise identical at every parallelism level.
 	wd, bd, od := c.W.Data(), c.B.Data(), out.Data()
 	k := c.Kernel
 	pixels := oh * ow
@@ -176,6 +159,8 @@ func (c *Conv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error)
 	cbuf := par.GetF32(rows * pixels)
 	defer par.PutF32(cbuf)
 	cols := *cbuf
+	// Pack the B panel. Parallelism is over panel rows: disjoint writes,
+	// no reduction, so packing is deterministic at every parallelism level.
 	par.For(rows, pixels, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
 			ic := row / (k * k)
@@ -183,29 +168,35 @@ func (c *Conv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tensor, error)
 			kx := row % k
 			dst := cols[row*pixels : (row+1)*pixels]
 			for oy := 0; oy < oh; oy++ {
-				src := (ic*h+oy*c.Stride+ky)*w + kx
+				y := oy*c.Stride + ky - padTop
+				drow := dst[oy*ow : (oy+1)*ow]
+				if y < 0 || y >= h {
+					clear(drow)
+					continue
+				}
+				src := (ic*h + y) * w
 				if c.Stride == 1 {
-					copy(dst[oy*ow:(oy+1)*ow], xd[src:src+ow])
+					// In-range columns satisfy 0 <= ox+kx-padL < w.
+					ox0 := max(padL-kx, 0)
+					ox1 := min(w-kx+padL, ow)
+					ox1 = max(ox1, ox0)
+					clear(drow[:ox0])
+					copy(drow[ox0:ox1], xd[src+ox0+kx-padL:src+ox1+kx-padL])
+					clear(drow[ox1:])
 					continue
 				}
 				for ox := 0; ox < ow; ox++ {
-					dst[oy*ow+ox] = xd[src+ox*c.Stride]
+					xcol := ox*c.Stride + kx - padL
+					if xcol < 0 || xcol >= w {
+						drow[ox] = 0
+					} else {
+						drow[ox] = xd[src+xcol]
+					}
 				}
 			}
 		}
 	})
-	par.For(c.OutC, 2*rows*pixels, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			acc := od[oc*pixels : (oc+1)*pixels]
-			for i := range acc {
-				acc[i] = bd[oc]
-			}
-			wRow := wd[oc*rows : (oc+1)*rows]
-			for j, wj := range wRow {
-				axpy(wj, cols[j*pixels:(j+1)*pixels], acc)
-			}
-		}
-	})
+	gemmBias(c.OutC, pixels, rows, wd, cols, bd, od, epi)
 	return out, nil
 }
 

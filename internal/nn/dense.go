@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 
-	"gillis/internal/par"
 	"gillis/internal/tensor"
 )
 
@@ -103,16 +102,16 @@ func (d *Dense) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 1 || x.Dim(0) != d.In {
 		return nil, fmt.Errorf("nn: Dense %q bad input %v", d.OpName, x.Shape())
 	}
+	return d.forwardRelu(x, false)
+}
+
+// forwardRelu lowers the layer onto the row-dot micro-kernel (gemm.go).
+// Each output row reduces over In with the fixed lane-striped schedule of
+// laneDotAcc — invariant under parallelism and channel slicing — and relu
+// optionally fuses the activation into the same pass (see fused.go).
+func (d *Dense) forwardRelu(x *tensor.Tensor, relu bool) (*tensor.Tensor, error) {
 	out := tensor.New(d.Out)
-	xd, wd, bd, od := x.Data(), d.W.Data(), d.B.Data(), out.Data()
-	// Parallel over output rows; each row's dot product stays a single
-	// left-to-right reduction, so outputs are bitwise identical at every
-	// parallelism level.
-	par.For(d.Out, 2*d.In, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			od[o] = dotAcc(bd[o], xd, wd[o*d.In:(o+1)*d.In])
-		}
-	})
+	gemvBias(d.Out, d.In, d.W.Data(), d.B.Data(), x.Data(), out.Data(), relu)
 	return out, nil
 }
 

@@ -138,31 +138,19 @@ func (d *DepthwiseConv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tenso
 	if x.Rank() != 3 || x.Dim(0) != d.C {
 		return nil, fmt.Errorf("nn: DepthwiseConv2D %q bad input %v", d.OpName, x.Shape())
 	}
-	// Stage the operator's channel window (and any zero padding) in one
-	// scratch buffer instead of materializing slice/pad tensors per call.
+	// Windows are read directly from the input with clipped indexing —
+	// no staged padded/sliced copy. Boundary windows still accumulate an
+	// explicit zero term per out-of-range tap, so every output element sees
+	// exactly the terms (and rounding) a zero-padded copy would produce.
 	span, h, w := d.span(), x.Dim(1), x.Dim(2)
 	xd := x.Data()
-	if d.Lo != 0 || d.Hi != d.C || d.Pad > 0 {
-		padTop := 0
-		if padH {
-			padTop = d.Pad
-		}
-		ph, pw := h+2*padTop, w+2*d.Pad
-		sbuf := par.GetF32(span * ph * pw)
-		defer par.PutF32(sbuf)
-		staged := *sbuf
-		clear(staged)
-		for c := 0; c < span; c++ {
-			srcC := d.Lo + c
-			for y := 0; y < h; y++ {
-				dst := (c*ph+padTop+y)*pw + d.Pad
-				copy(staged[dst:dst+w], xd[(srcC*h+y)*w:(srcC*h+y)*w+w])
-			}
-		}
-		xd, h, w = staged, ph, pw
+	padTop := 0
+	if padH {
+		padTop = d.Pad
 	}
-	oh := (h-d.Kernel)/d.Stride + 1
-	ow := (w-d.Kernel)/d.Stride + 1
+	padL := d.Pad
+	oh := (h+2*padTop-d.Kernel)/d.Stride + 1
+	ow := (w+2*padL-d.Kernel)/d.Stride + 1
 	if oh <= 0 || ow <= 0 {
 		return nil, fmt.Errorf("nn: DepthwiseConv2D %q empty output", d.OpName)
 	}
@@ -172,26 +160,102 @@ func (d *DepthwiseConv2D) forward(in []*tensor.Tensor, padH bool) (*tensor.Tenso
 	// Output channel c depends only on input channel c: parallelizing over
 	// channels splits no reduction, so outputs are bitwise identical at
 	// every parallelism level.
+	// Interior output rows/columns — whose windows never touch padding —
+	// are resolved once, outside the pixel loops, so the hot path is as
+	// branch-free as the staged-copy version was.
+	oyLo := min(max(ceilDiv(padTop, d.Stride), 0), oh)
+	oyHi := min(max((h-k+padTop)/d.Stride+1, oyLo), oh)
+	oxLo := min(max(ceilDiv(padL, d.Stride), 0), ow)
+	oxHi := min(max((w-k+padL)/d.Stride+1, oxLo), ow)
 	par.For(span, 2*oh*ow*k*k, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			bias := bd[c]
-			wBase := c * k * k
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy * d.Stride
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox * d.Stride
-					acc := bias
-					for ky := 0; ky < k; ky++ {
-						xRow := (c*h+iy0+ky)*w + ix0
-						acc = dotAcc(acc, xd[xRow:xRow+k], wd[wBase+ky*k:wBase+(ky+1)*k])
+			wRows := wd[c*k*k : (c+1)*k*k]
+			src := (d.Lo + c) * h * w
+			// boundary computes one pixel whose window may overlap the
+			// padding: clipped taps accumulate from the input, out-of-range
+			// taps accumulate an explicit zero term, all in (ky, kx) order.
+			boundary := func(oy, ox int) float32 {
+				y0 := oy*d.Stride - padTop
+				x0 := ox*d.Stride - padL
+				kx0 := max(-x0, 0)
+				kx1 := max(min(w-x0, k), kx0)
+				acc := bias
+				for ky := 0; ky < k; ky++ {
+					y := y0 + ky
+					wRow := wRows[ky*k : (ky+1)*k]
+					if y < 0 || y >= h {
+						for _, wv := range wRow {
+							acc += 0 * wv
+						}
+						continue
 					}
-					od[(c*oh+oy)*ow+ox] = acc
+					for _, wv := range wRow[:kx0] {
+						acc += 0 * wv
+					}
+					rowBase := src + y*w + x0
+					acc = dotAcc(acc, xd[rowBase+kx0:rowBase+kx1], wRow[kx0:kx1])
+					for _, wv := range wRow[kx1:] {
+						acc += 0 * wv
+					}
+				}
+				return acc
+			}
+			for oy := 0; oy < oh; oy++ {
+				rowOut := od[(c*oh+oy)*ow : (c*oh+oy+1)*ow]
+				if oy < oyLo || oy >= oyHi {
+					for ox := 0; ox < ow; ox++ {
+						rowOut[ox] = boundary(oy, ox)
+					}
+					continue
+				}
+				for ox := 0; ox < oxLo; ox++ {
+					rowOut[ox] = boundary(oy, ox)
+				}
+				base := src + (oy*d.Stride-padTop)*w - padL
+				if k == 3 {
+					// Fully unrolled 3x3 taps in the same strict (ky, kx)
+					// order — the MobileNet hot path.
+					w00, w01, w02 := wRows[0], wRows[1], wRows[2]
+					w10, w11, w12 := wRows[3], wRows[4], wRows[5]
+					w20, w21, w22 := wRows[6], wRows[7], wRows[8]
+					for ox := oxLo; ox < oxHi; ox++ {
+						r0 := base + ox*d.Stride
+						r1, r2 := r0+w, r0+2*w
+						acc := bias
+						acc += xd[r0] * w00
+						acc += xd[r0+1] * w01
+						acc += xd[r0+2] * w02
+						acc += xd[r1] * w10
+						acc += xd[r1+1] * w11
+						acc += xd[r1+2] * w12
+						acc += xd[r2] * w20
+						acc += xd[r2+1] * w21
+						acc += xd[r2+2] * w22
+						rowOut[ox] = acc
+					}
+				} else {
+					for ox := oxLo; ox < oxHi; ox++ {
+						x0 := base + ox*d.Stride
+						acc := bias
+						for ky := 0; ky < k; ky++ {
+							row := x0 + ky*w
+							acc = dotAcc(acc, xd[row:row+k], wRows[ky*k:(ky+1)*k])
+						}
+						rowOut[ox] = acc
+					}
+				}
+				for ox := oxHi; ox < ow; ox++ {
+					rowOut[ox] = boundary(oy, ox)
 				}
 			}
 		}
 	})
 	return out, nil
 }
+
+// ceilDiv returns ceil(a/b) for non-negative a and positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // OutChannels implements ChannelSliceable.
 func (d *DepthwiseConv2D) OutChannels() int { return d.span() }

@@ -1,0 +1,237 @@
+package nn
+
+import "gillis/internal/par"
+
+// This file is the package's single GEMM-shaped compute engine. Conv2D
+// (via im2col), Dense, and LSTM all lower onto the two micro-kernels below;
+// the AVX assembly in gemm_amd64.s and the pure-Go reference kernels here
+// implement the exact same accumulation-order contract, so outputs are
+// bitwise identical across architectures, parallelism levels, and
+// partitioned execution.
+//
+// Accumulation-order contract:
+//
+//   - Matrix-panel kernel (conv): every output element accumulates its K
+//     terms strictly in order, one rounding per multiply and one per add
+//     (acc += a[p]*b[p], p = 0,1,2,...). SIMD lanes hold *independent*
+//     output elements, never partial sums of one element, so the order per
+//     element is the same whether a pixel lands in the vector body, the
+//     scalar column tail, or a differently-aligned block of a spatial
+//     partition.
+//   - Row-dot kernel (dense/LSTM): each output row reduces over K in eight
+//     interleaved stripes (lane q sums terms q, q+8, q+16, ...), the lanes
+//     are combined by the fixed tree ((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7)),
+//     and any K%8 tail terms are then added in order. The schedule depends
+//     only on K — a layer constant — so it is invariant under parallelism
+//     and channel slicing.
+//
+// Blocking: the register tile is Mc=4 rows × 8 columns. gemmBand4 walks the
+// output in Nc-column by Kc-depth blocks so a B panel of at most
+// Kc×8 floats (16KB) stays L1-resident across the column sweep while the
+// four A rows stream; bands of four rows are the unit of parallelism
+// (disjoint outputs, no reduction ever splits). The im2col packing in
+// Conv2D builds the B panel in pooled scratch; A panels are the weight rows
+// themselves, already contiguous.
+const (
+	gemmKc = 512
+	gemmNc = 512
+)
+
+// epilogue is a fused per-output-channel post-op applied to a finished
+// output row: an optional affine y = y*scale + shift (the BatchNorm
+// inference transform) followed by an optional ReLU. Both use exactly the
+// arithmetic of the standalone BatchNorm/ReLU forwards, so fusing them is
+// bitwise invisible.
+type epilogue struct {
+	scale []float32 // per-channel scale, nil for none
+	shift []float32 // per-channel shift, same length as scale
+	relu  bool
+}
+
+// apply transforms one finished output row (channel ch). A nil epilogue is
+// a no-op.
+func (e *epilogue) apply(ch int, row []float32) {
+	if e == nil {
+		return
+	}
+	if e.scale != nil {
+		s, t := e.scale[ch], e.shift[ch]
+		for i, v := range row {
+			row[i] = v*s + t
+		}
+	}
+	if e.relu {
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			}
+		}
+	}
+}
+
+// gemmBias computes out[m][n] = bias[i] + a[m][k]·b[k][n], applying the
+// epilogue to each finished row. a is row-major [m][k] (weight rows), b is
+// row-major [k][n] (the packed im2col panel). Parallelism is over 4-row
+// bands; every path accumulates each element strictly in k order.
+func gemmBias(m, n, k int, a, b, bias, out []float32, epi *epilogue) {
+	par.For((m+3)/4, 8*k*n, func(lo, hi int) {
+		for band := lo; band < hi; band++ {
+			i := band * 4
+			if i+4 <= m {
+				for r := i; r < i+4; r++ {
+					row := out[r*n : (r+1)*n]
+					bv := bias[r]
+					for j := range row {
+						row[j] = bv
+					}
+				}
+				gemmBand4(n, k,
+					a[i*k:(i+1)*k], a[(i+1)*k:(i+2)*k], a[(i+2)*k:(i+3)*k], a[(i+3)*k:(i+4)*k],
+					b,
+					out[i*n:(i+1)*n], out[(i+1)*n:(i+2)*n], out[(i+2)*n:(i+3)*n], out[(i+3)*n:(i+4)*n])
+			} else {
+				for r := i; r < m; r++ {
+					row := out[r*n : (r+1)*n]
+					ar := a[r*k : (r+1)*k]
+					bv := bias[r]
+					for j := range row {
+						s := bv
+						for p := 0; p < k; p++ {
+							s += ar[p] * b[p*n+j]
+						}
+						row[j] = s
+					}
+				}
+			}
+			for r := i; r < min(i+4, m); r++ {
+				epi.apply(r, out[r*n:(r+1)*n])
+			}
+		}
+	})
+}
+
+// gemmBand4 accumulates four output rows c0..c3 (length n) with Nc/Kc cache
+// blocking around the 4x8 micro-kernel. Column tails (n%8) fall back to a
+// scalar loop with the identical strict-k accumulation order.
+func gemmBand4(n, k int, a0, a1, a2, a3, b, c0, c1, c2, c3 []float32) {
+	for jc := 0; jc < n; jc += gemmNc {
+		jEnd := min(jc+gemmNc, n)
+		for pc := 0; pc < k; pc += gemmKc {
+			pEnd := min(pc+gemmKc, k)
+			kc := pEnd - pc
+			j := jc
+			for ; j+8 <= jEnd; j += 8 {
+				mulAddPanel4x8(kc, a0[pc:pEnd], a1[pc:pEnd], a2[pc:pEnd], a3[pc:pEnd],
+					b[pc*n+j:], n, c0[j:j+8], c1[j:j+8], c2[j:j+8], c3[j:j+8])
+			}
+			for ; j < jEnd; j++ {
+				s0, s1, s2, s3 := c0[j], c1[j], c2[j], c3[j]
+				for p := pc; p < pEnd; p++ {
+					bv := b[p*n+j]
+					s0 += a0[p] * bv
+					s1 += a1[p] * bv
+					s2 += a2[p] * bv
+					s3 += a3[p] * bv
+				}
+				c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+			}
+		}
+	}
+}
+
+// mulAddPanel4x8Go is the pure-Go reference of the matrix-panel micro-kernel:
+// c_r[j] += a_r[p] * b[p*bstride+j] for r in 0..3, j in 0..7, p ascending.
+// Bitwise identical to the AVX version (independent lanes, one mul and one
+// add rounding per term, strict p order).
+func mulAddPanel4x8Go(k int, a0, a1, a2, a3, b []float32, bstride int, c0, c1, c2, c3 []float32) {
+	c0, c1, c2, c3 = c0[:8], c1[:8], c2[:8], c3[:8]
+	for p := 0; p < k; p++ {
+		brow := b[p*bstride : p*bstride+8]
+		v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+		for j, bv := range brow {
+			c0[j] += v0 * bv
+			c1[j] += v1 * bv
+			c2[j] += v2 * bv
+			c3[j] += v3 * bv
+		}
+	}
+}
+
+// gemvBias computes out[i] = bias[i] + w[i]·x for an [m][k] row-major weight
+// matrix, with an optional fused ReLU. Rows are processed in bands of four;
+// every row follows the lane-striped reduction contract of laneDotAcc.
+func gemvBias(m, k int, w, bias, x, out []float32, relu bool) {
+	par.For((m+3)/4, 8*k, func(lo, hi int) {
+		for band := lo; band < hi; band++ {
+			i := band * 4
+			if i+4 <= m {
+				copy(out[i:i+4], bias[i:i+4])
+				gemvBand4(k, w[i*k:], k, x, out[i:i+4])
+			} else {
+				for r := i; r < m; r++ {
+					out[r] = laneDotAcc(bias[r], w[r*k:(r+1)*k], x[:k])
+				}
+			}
+			if relu {
+				for r := i; r < min(i+4, m); r++ {
+					if out[r] < 0 {
+						out[r] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// gemvBand4 accumulates four row-dots into acc[0:4]: acc[r] += w[r·ldw:]·x
+// over k terms, vector body over the largest multiple of 8 and the k tail
+// added in order afterwards — the same schedule laneDotAcc implements for a
+// single row.
+func gemvBand4(k int, w []float32, ldw int, x, acc []float32) {
+	k8 := k &^ 7
+	if k8 > 0 {
+		laneDotAcc4(k8, w, w[ldw:], w[2*ldw:], w[3*ldw:], x, acc)
+	}
+	for r := 0; r < 4; r++ {
+		wr := w[r*ldw : r*ldw+k]
+		s := acc[r]
+		for p := k8; p < k; p++ {
+			s += wr[p] * x[p]
+		}
+		acc[r] = s
+	}
+}
+
+// laneDotAcc4Go is the pure-Go reference of the row-dot micro-kernel:
+// out[r] += laneDot(w_r, x) for r in 0..3. k must be a multiple of 8.
+func laneDotAcc4Go(k int, w0, w1, w2, w3, x, out []float32) {
+	out[0] = laneDotAcc(out[0], w0[:k], x[:k])
+	out[1] = laneDotAcc(out[1], w1[:k], x[:k])
+	out[2] = laneDotAcc(out[2], w2[:k], x[:k])
+	out[3] = laneDotAcc(out[3], w3[:k], x[:k])
+}
+
+// laneDotAcc is the scalar statement of the row-dot contract: eight
+// interleaved partial sums over the largest multiple of 8, combined by the
+// fixed tree ((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7)), then the tail terms in
+// order. Single rows (band tails, sliced layers) and the AVX kernel agree
+// bitwise because the schedule depends only on len(w).
+func laneDotAcc(acc float32, w, x []float32) float32 {
+	k8 := len(w) &^ 7
+	var l [8]float32
+	for p := 0; p < k8; p += 8 {
+		wp, xp := w[p:p+8], x[p:p+8]
+		for q, wv := range wp {
+			l[q] += wv * xp[q]
+		}
+	}
+	s0 := l[0] + l[4]
+	s1 := l[1] + l[5]
+	s2 := l[2] + l[6]
+	s3 := l[3] + l[7]
+	acc += (s0 + s1) + (s2 + s3)
+	for p := k8; p < len(w); p++ {
+		acc += w[p] * x[p]
+	}
+	return acc
+}

@@ -1,0 +1,57 @@
+//go:build amd64
+
+package nn
+
+// gemmKernel4x8 is the AVX matrix-panel micro-kernel (gemm_amd64.s):
+// c_r[0:8] += a_r[p] * b[p*bstrideBytes/4 : ...][0:8] for r in 0..3 with
+// strict p order per element. bstrideBytes is the byte stride between
+// consecutive k rows of b.
+func gemmKernel4x8(k int64, a0, a1, a2, a3, b *float32, bstrideBytes int64, c0, c1, c2, c3 *float32)
+
+// gemvKernel4x8 is the AVX row-dot micro-kernel (gemm_amd64.s):
+// out[r] += laneDot(w_r[0:k], x[0:k]) for r in 0..3. k must be a multiple
+// of 8.
+func gemvKernel4x8(k int64, w0, w1, w2, w3, x, out *float32)
+
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbvAsm() (eax, edx uint32)
+
+// useAVXKernels gates the assembly micro-kernels. When false the pure-Go
+// reference kernels run instead; both implement the same accumulation-order
+// contract, so flipping this flag never changes an output bit (the
+// equivalence is asserted by TestKernelAsmMatchesReference).
+var useAVXKernels = detectAVX()
+
+// detectAVX reports whether the CPU and OS support 256-bit AVX state. The
+// kernels use only AVX1 instructions (VMULPS/VADDPS/VBROADCASTSS/VHADDPS).
+func detectAVX() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	lo, _ := xgetbvAsm()
+	return lo&6 == 6 // OS saves XMM and YMM state
+}
+
+func mulAddPanel4x8(k int, a0, a1, a2, a3, b []float32, bstride int, c0, c1, c2, c3 []float32) {
+	if useAVXKernels {
+		gemmKernel4x8(int64(k), &a0[0], &a1[0], &a2[0], &a3[0], &b[0], int64(bstride)*4,
+			&c0[0], &c1[0], &c2[0], &c3[0])
+		return
+	}
+	mulAddPanel4x8Go(k, a0, a1, a2, a3, b, bstride, c0, c1, c2, c3)
+}
+
+func laneDotAcc4(k int, w0, w1, w2, w3, x, out []float32) {
+	if useAVXKernels {
+		gemvKernel4x8(int64(k), &w0[0], &w1[0], &w2[0], &w3[0], &x[0], &out[0])
+		return
+	}
+	laneDotAcc4Go(k, w0, w1, w2, w3, x, out)
+}

@@ -1,0 +1,145 @@
+#include "textflag.h"
+
+// AVX micro-kernels for the GEMM engine (see gemm.go for the
+// accumulation-order contract). Only AVX1 instructions are used; dispatch
+// in gemm_amd64.go verifies CPU and OS support before these run.
+
+// func gemmKernel4x8(k int64, a0, a1, a2, a3, b *float32, bstrideBytes int64, c0, c1, c2, c3 *float32)
+//
+// For r in 0..3: c_r[0:8] += a_r[p] * b[p][0:8], p = 0..k-1, one VMULPS and
+// one VADDPS per (r, p) — SIMD lanes are independent output elements, so
+// each element accumulates in strict p order, bitwise identical to the
+// scalar reference mulAddPanel4x8Go.
+TEXT ·gemmKernel4x8(SB), NOSPLIT, $0-88
+	MOVQ k+0(FP), CX
+	MOVQ a0+8(FP), AX
+	MOVQ a1+16(FP), R9
+	MOVQ a2+24(FP), R10
+	MOVQ a3+32(FP), R11
+	MOVQ b+40(FP), BX
+	MOVQ bstrideBytes+48(FP), DX
+	MOVQ c0+56(FP), DI
+	MOVQ c1+64(FP), SI
+	MOVQ c2+72(FP), R8
+	MOVQ c3+80(FP), R12
+	VMOVUPS (DI), Y0
+	VMOVUPS (SI), Y1
+	VMOVUPS (R8), Y2
+	VMOVUPS (R12), Y3
+	XORQ R13, R13
+loop:
+	TESTQ CX, CX
+	JZ    done
+	VMOVUPS (BX), Y5
+	VBROADCASTSS (AX)(R13*4), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y0, Y0
+	VBROADCASTSS (R9)(R13*4), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y1, Y1
+	VBROADCASTSS (R10)(R13*4), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y2, Y2
+	VBROADCASTSS (R11)(R13*4), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y3, Y3
+	ADDQ DX, BX
+	INCQ R13
+	DECQ CX
+	JMP  loop
+done:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (SI)
+	VMOVUPS Y2, (R8)
+	VMOVUPS Y3, (R12)
+	VZEROUPPER
+	RET
+
+// func gemvKernel4x8(k int64, w0, w1, w2, w3, x, out *float32)
+//
+// For r in 0..3: out[r] += laneReduce(w_r .* x) over k terms (k ≡ 0 mod 8):
+// lane q accumulates terms q, q+8, ...; lanes fold high-half onto low, then
+// pairwise via HADDPS — the fixed tree ((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))
+// stated in laneDotAcc.
+TEXT ·gemvKernel4x8(SB), NOSPLIT, $0-56
+	MOVQ k+0(FP), CX
+	MOVQ w0+8(FP), AX
+	MOVQ w1+16(FP), R9
+	MOVQ w2+24(FP), R10
+	MOVQ w3+32(FP), R11
+	MOVQ x+40(FP), BX
+	MOVQ out+48(FP), DI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ R13, R13
+loop:
+	TESTQ CX, CX
+	JZ    done
+	VMOVUPS (BX)(R13*4), Y5
+	VMOVUPS (AX)(R13*4), Y6
+	VMULPS Y5, Y6, Y6
+	VADDPS Y6, Y0, Y0
+	VMOVUPS (R9)(R13*4), Y6
+	VMULPS Y5, Y6, Y6
+	VADDPS Y6, Y1, Y1
+	VMOVUPS (R10)(R13*4), Y6
+	VMULPS Y5, Y6, Y6
+	VADDPS Y6, Y2, Y2
+	VMOVUPS (R11)(R13*4), Y6
+	VMULPS Y5, Y6, Y6
+	VADDPS Y6, Y3, Y3
+	ADDQ $8, R13
+	SUBQ $8, CX
+	JMP  loop
+done:
+	VEXTRACTF128 $1, Y0, X5
+	VADDPS X5, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPS X5, X1, X1
+	VEXTRACTF128 $1, Y2, X5
+	VADDPS X5, X2, X2
+	VEXTRACTF128 $1, Y3, X5
+	VADDPS X5, X3, X3
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X3, X3, X3
+	VHADDPS X3, X3, X3
+	VMOVSS (DI), X6
+	VADDSS X0, X6, X6
+	VMOVSS X6, (DI)
+	VMOVSS 4(DI), X6
+	VADDSS X1, X6, X6
+	VMOVSS X6, 4(DI)
+	VMOVSS 8(DI), X6
+	VADDSS X2, X6, X6
+	VMOVSS X6, 8(DI)
+	VMOVSS 12(DI), X6
+	VADDSS X3, X6, X6
+	VMOVSS X6, 12(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

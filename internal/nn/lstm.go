@@ -134,19 +134,23 @@ func (l *LSTM) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	clear(hState)
 	clear(cState)
 	// The timestep recurrence is inherently serial, but within a step the
-	// 4*Hidden gate rows are independent dot products and the Hidden state
+	// 4*Hidden gate rows are independent row-dots and the Hidden state
 	// updates are element-wise; parallelizing over those rows splits no
 	// reduction, so outputs are bitwise identical at every parallelism
-	// level.
+	// level. Gate rows run in bands of four on the row-dot micro-kernel
+	// (gemm.go): per row, bias + laneDot over x_t, then + laneDot over
+	// h_{t-1} — a fixed schedule independent of banding and parallelism.
 	// Both bodies are hoisted out of the timestep loop so each Forward
 	// allocates the closures once, not per step; xt is rebound between
 	// steps (serially, after For returns, so no goroutine observes a
 	// partial update).
 	var xt []float32
 	gateRows := func(lo, hi int) {
-		for g := lo; g < hi; g++ {
-			acc := dotAcc(bias[g], xt, wx[g*l.InSize:(g+1)*l.InSize])
-			gates[g] = dotAcc(acc, hState, wh[g*h:(g+1)*h])
+		for band := lo; band < hi; band++ {
+			g := band * 4
+			copy(gates[g:g+4], bias[g:g+4])
+			gemvBand4(l.InSize, wx[g*l.InSize:], l.InSize, xt, gates[g:g+4])
+			gemvBand4(h, wh[g*h:], h, hState, gates[g:g+4])
 		}
 	}
 	stateUpdate := func(lo, hi int) {
@@ -161,7 +165,7 @@ func (l *LSTM) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	for t := 0; t < steps; t++ {
 		xt = xd[t*l.InSize : (t+1)*l.InSize]
-		par.For(4*h, 2*(l.InSize+h), gateRows)
+		par.For(h, 8*(l.InSize+h), gateRows)
 		par.For(h, 64, stateUpdate)
 		copy(od[t*h:(t+1)*h], hState)
 	}

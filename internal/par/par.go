@@ -140,13 +140,17 @@ func For(n, itemCost int, body func(lo, hi int)) {
 			body(lo, hi)
 		}
 	}
+	// One shared task closure for all workers: submitting the same func
+	// value p-1 times allocates once, not per worker, which matters for
+	// kernels that dispatch many small Fors per forward (LSTM timesteps).
 	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	task := func() {
+		defer wg.Done()
+		run()
+	}
 	for i := 1; i < p; i++ {
-		wg.Add(1)
-		submit(func() {
-			defer wg.Done()
-			run()
-		})
+		submit(task)
 	}
 	run()
 	wg.Wait()

@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"fmt"
+
+	"gillis/internal/tensor"
+)
+
+// TransferBytes totals the bytes a plan moves over the master's network
+// links: the weight shipment that deploys each worker partition plus the
+// per-query activation payloads (partition inputs out, partition outputs
+// back). Work the master executes itself — DimNone groups placed on the
+// master, and partition 0 of a parallel group with OnMaster — moves nothing.
+//
+// This is the quantity the fusion pass shrinks for the planners: folding a
+// BatchNorm into its convolution halves that BatchNorm's share of the
+// shipped weight bytes (two per-channel vectors instead of four), so a plan
+// over a fused graph reports strictly fewer transfer bytes than the same
+// plan over the unfused graph.
+func TransferBytes(units []*Unit, p *Plan) (int64, error) {
+	if err := p.Validate(units); err != nil {
+		return 0, err
+	}
+	var total int64
+	for gi, gp := range p.Groups {
+		switch gp.Option.Dim {
+		case DimNone:
+			if gp.OnMaster {
+				continue
+			}
+			var weights int64
+			for _, u := range units[gp.First : gp.Last+1] {
+				weights += u.ParamBytes
+			}
+			total += weights
+			total += tensor.SizeBytes(units[gp.First].InShape) + tensor.SizeBytes(units[gp.Last].OutShape)
+
+		case DimSpatial:
+			slices, err := SpatialSlices(units[gp.First:gp.Last+1], gp.Option.Parts)
+			if err != nil {
+				return 0, fmt.Errorf("partition: transfer bytes of group %d: %w", gi, err)
+			}
+			var weights int64
+			for _, u := range units[gp.First : gp.Last+1] {
+				weights += u.ParamBytes // replicated per worker
+			}
+			for i, ps := range slices {
+				if gp.OnMaster && i == 0 {
+					continue
+				}
+				total += weights + ps.InBytes + ps.OutBytes
+			}
+
+		case DimChannel:
+			slices, err := ChannelSlices(units[gp.First], gp.Option.Parts)
+			if err != nil {
+				return 0, fmt.Errorf("partition: transfer bytes of group %d: %w", gi, err)
+			}
+			for i, cs := range slices {
+				if gp.OnMaster && i == 0 {
+					continue
+				}
+				total += cs.ParamBytes + cs.InBytes + cs.OutBytes
+			}
+
+		default:
+			return 0, fmt.Errorf("partition: transfer bytes: unknown dimension %v", gp.Option.Dim)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"gillis/internal/graph"
+	"gillis/internal/nn"
+	"gillis/internal/tensor"
+)
+
+// exampleCNN is a conv-bn-relu stack — the fusion pass's bread and butter.
+func exampleCNN(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("example-cnn", []int{3, 28, 28})
+	g.MustAdd(nn.NewConv2D("c1", 3, 16, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("b1", 16))
+	g.MustAdd(nn.NewReLU("r1"))
+	g.MustAdd(nn.NewConv2D("c2", 16, 32, 3, 1, 1))
+	g.MustAdd(nn.NewBatchNorm("b2", 32))
+	g.MustAdd(nn.NewReLU("r2"))
+	g.MustAdd(nn.NewMaxPool2D("p", 2, 2, 0))
+	g.MustAdd(nn.NewFlatten("fl"))
+	g.MustAdd(nn.NewDense("fc", 32*14*14, 10))
+	g.MustAdd(nn.NewReLU("r3"))
+	g.Init(11)
+	return g
+}
+
+// TestFusedPlanReportsFewerTransferBytes is the planner-visibility
+// acceptance check: the same partition plan over the fused graph must
+// report strictly fewer transfer bytes than over the unfused graph, because
+// folded BatchNorms ship two per-channel vectors instead of four.
+func TestFusedPlanReportsFewerTransferBytes(t *testing.T) {
+	g := exampleCNN(t)
+	fg, eliminated, err := graph.Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eliminated == 0 {
+		t.Fatal("fusion pass rewrote nothing on the example model")
+	}
+	units, err := Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedUnits, err := Linearize(fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element-wise merging already collapses BN/ReLU into the preceding
+	// weighted unit, so both chains linearize to the same boundaries.
+	if len(units) != len(fusedUnits) {
+		t.Fatalf("unit chains differ: %d unfused vs %d fused", len(units), len(fusedUnits))
+	}
+	plan := &Plan{
+		Model: g.Name,
+		Groups: []GroupPlan{
+			{First: 0, Last: 0, Option: Option{Dim: DimChannel, Parts: 4}},
+			{First: 1, Last: len(units) - 1, Option: Option{Dim: DimNone, Parts: 1}},
+		},
+	}
+	unfusedBytes, err := TransferBytes(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedBytes, err := TransferBytes(fusedUnits, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fusedBytes >= unfusedBytes {
+		t.Fatalf("fused plan transfers %d bytes, want strictly fewer than unfused %d", fusedBytes, unfusedBytes)
+	}
+	t.Logf("transfer bytes: unfused=%d fused=%d (saved %d)", unfusedBytes, fusedBytes, unfusedBytes-fusedBytes)
+
+	// The fused chain reports fewer FLOPs to the planners, too.
+	var fu, uu int64
+	for _, u := range units {
+		uu += u.FLOPs
+	}
+	for _, u := range fusedUnits {
+		fu += u.FLOPs
+	}
+	if fu >= uu {
+		t.Fatalf("fused chain FLOPs %d not below unfused %d", fu, uu)
+	}
+}
+
+// TestFusedUnitsPartitionedExecutionExact: channel- and spatially-
+// partitioned execution of the fused chain must agree bitwise with the
+// unfused monolithic forward.
+func TestFusedUnitsPartitionedExecutionExact(t *testing.T) {
+	g := exampleCNN(t)
+	fg, _, err := graph.Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedUnits, err := Linearize(fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.Rand(rand.New(rand.NewSource(3)), 1, 3, 28, 28)
+	want, err := g.Forward(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fused chain, unpartitioned.
+	got, err := ForwardChain(fusedUnits, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("fused chain forward diverged from unfused graph")
+	}
+
+	// Channel partition of the first fused unit.
+	if !fusedUnits[0].Channel {
+		t.Fatal("first fused unit lost channel partitionability")
+	}
+	cout, err := ExecChannel(fusedUnits[0], 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := ForwardChain(fusedUnits[1:], cout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(rest, want) {
+		t.Fatal("channel-partitioned fused execution diverged")
+	}
+
+	// Spatial partition across the fused conv units.
+	if !fusedUnits[0].Spatial || !fusedUnits[1].Spatial {
+		t.Fatal("fused conv units lost spatial partitionability")
+	}
+	sout, err := ExecSpatial(fusedUnits[:2], 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srest, err := ForwardChain(fusedUnits[2:], sout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(srest, want) {
+		t.Fatal("spatially partitioned fused execution diverged")
+	}
+}
+
+// TestTransferBytesPlacementBranches covers the placement cases the fused
+// comparison test does not: spatial groups, master-resident partition 0,
+// off-master whole groups, and plan-validation failure.
+func TestTransferBytesPlacementBranches(t *testing.T) {
+	g := exampleCNN(t)
+	units, err := Linearize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(units) - 1
+	mk := func(spatialOnMaster, wholeOnMaster bool) int64 {
+		t.Helper()
+		plan := &Plan{
+			Model: g.Name,
+			Groups: []GroupPlan{
+				{First: 0, Last: 1, Option: Option{Dim: DimSpatial, Parts: 3}, OnMaster: spatialOnMaster},
+				{First: 2, Last: last, Option: Option{Dim: DimNone, Parts: 1}, OnMaster: wholeOnMaster},
+			},
+		}
+		b, err := TransferBytes(units, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	allRemote := mk(false, false)
+	masterSlice := mk(true, false)
+	masterTail := mk(false, true)
+	if masterSlice >= allRemote {
+		t.Fatalf("master-resident partition 0 must shed its shipment: %d >= %d", masterSlice, allRemote)
+	}
+	if masterTail >= allRemote {
+		t.Fatalf("master-resident whole group must ship nothing: %d >= %d", masterTail, allRemote)
+	}
+	// The off-master whole group ships exactly its weights plus one
+	// input/output activation pair.
+	var tailWeights int64
+	for _, u := range units[2:] {
+		tailWeights += u.ParamBytes
+	}
+	wantTail := tailWeights + tensor.SizeBytes(units[2].InShape) + tensor.SizeBytes(units[last].OutShape)
+	if got := allRemote - masterTail; got != wantTail {
+		t.Fatalf("whole-group shipment = %d, want %d", got, wantTail)
+	}
+
+	bad := &Plan{Model: g.Name, Groups: []GroupPlan{{First: 1, Last: last, Option: Option{Dim: DimNone, Parts: 1}}}}
+	if _, err := TransferBytes(units, bad); err == nil {
+		t.Fatal("invalid plan must error")
+	}
+}

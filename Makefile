@@ -7,9 +7,9 @@
 GO ?= go
 RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet \
 	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis \
-	./internal/gateway
+	./internal/gateway ./internal/adapt
 
-.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load
+.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load bench-adapt
 
 ci: lint build test race chaos
 
@@ -69,3 +69,8 @@ bench-chaos:
 # fully seeded and ShapeOnly: same output on any machine).
 bench-load:
 	$(GO) run ./cmd/gillis-bench -quick -seed 42 -load -load-json BENCH_load.json
+
+# Regenerate the checked-in adaptive re-planning baseline (full-horizon
+# scenario, fully seeded and ShapeOnly: same output on any machine).
+bench-adapt:
+	$(GO) run ./cmd/gillis-bench -seed 42 -adapt -adapt-json BENCH_adapt.json

@@ -9,6 +9,7 @@
 //	             [-kernels-json FILE] [-kernels-baseline FILE] [-kernels-check]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //	             [-trace-json FILE] [-load] [-load-json FILE]
+//	             [-adapt] [-adapt-json FILE]
 //
 // -trace-json serves one seeded resilient fork-join query of the chaos
 // workload under fault injection and writes its span tree as Chrome
@@ -19,6 +20,12 @@
 // burst rate × autoscaling policy and reporting SLO attainment and cost per
 // policy, skipping the figure sweep; -load-json additionally writes the
 // sweep as JSON (the BENCH_load.json baseline).
+//
+// -adapt replays the adaptive re-planning scenario: the same arrival trace
+// through each static candidate plan and then through the closed-loop
+// controller while the platform degrades, recovers, and takes a traffic
+// surge mid-replay, skipping the figure sweep; -adapt-json additionally
+// writes the scenario as JSON (the BENCH_adapt.json baseline).
 package main
 
 import (
@@ -82,6 +89,8 @@ func run(args []string, stdout io.Writer) error {
 	chaosJSON := fs.String("chaos-json", "", "write the chaos figure as JSON to this file (BENCH_chaos.json baseline)")
 	loadFlag := fs.Bool("load", false, "run the serving-gateway load sweep (SLO attainment + cost vs burst rate x policy), skipping the figure sweep")
 	loadJSON := fs.String("load-json", "", "write the load sweep as JSON to this file (BENCH_load.json baseline; implies -load)")
+	adaptFlag := fs.Bool("adapt", false, "run the adaptive re-planning scenario (static plans vs closed-loop controller across fault-regime and load shifts), skipping the figure sweep")
+	adaptJSON := fs.String("adapt-json", "", "write the adaptive scenario as JSON to this file (BENCH_adapt.json baseline; implies -adapt)")
 	traceJSON := fs.String("trace-json", "", "trace one fork-join query and write Chrome trace-event JSON to this file")
 	traceFaults := fs.Float64("trace-faults", 0.05, "fault rate for the traced query (-trace-json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -142,6 +151,25 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "load sweep written to %s\n", *loadJSON)
+		}
+		return nil
+	}
+
+	if *adaptFlag || *adaptJSON != "" {
+		report, err := bench.AdaptScenario(ctx)
+		if err != nil {
+			return fmt.Errorf("adapt: %w", err)
+		}
+		fmt.Fprintln(stdout, report.Table())
+		if *adaptJSON != "" {
+			js, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*adaptJSON, js, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "adaptive scenario written to %s\n", *adaptJSON)
 		}
 		return nil
 	}

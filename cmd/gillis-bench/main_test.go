@@ -144,6 +144,31 @@ func TestRunLoadWritesJSONBaseline(t *testing.T) {
 	}
 }
 
+// TestRunAdaptWritesJSONBaseline drives the adaptive-scenario flags: the
+// table and headline print, the figure sweep is skipped, and the JSON
+// baseline carries the headline comparison.
+func TestRunAdaptWritesJSONBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_adapt.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-adapt", "-adapt-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Adaptive serving") || !strings.Contains(out, "headline:") {
+		t.Fatalf("stdout missing adaptive scenario table:\n%s", out)
+	}
+	if strings.Contains(out, "Fig") {
+		t.Fatal("-adapt must skip the figure sweep")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"adaptive_slo_pct\"") || !strings.Contains(string(data), "\"baseline_bit_exact\"") {
+		t.Fatalf("baseline JSON malformed:\n%s", data)
+	}
+}
+
 // TestRunKernelsBaselineCheck drives the -kernels-baseline/-kernels-check
 // gate deterministically: a baseline with absurdly slow pins always passes,
 // one with impossibly fast pins always fails (twice — once on the first

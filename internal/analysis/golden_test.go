@@ -26,6 +26,7 @@ var goldenCases = []struct {
 	{AnalyzerNiltrace, "gillis/internal/trace", ""},
 	{AnalyzerNodeterm, "gillis/internal/platform", ""},
 	{AnalyzerNodeterm, "gillis/internal/gateway", "nodeterm_gateway"},
+	{AnalyzerNodeterm, "gillis/internal/adapt", "nodeterm_adapt"},
 }
 
 // TestGoldenDiagnostics pins each analyzer's findings over its fixture

@@ -20,6 +20,7 @@ var clockedPkgs = []string{
 	"gillis/internal/nn",
 	"gillis/internal/workload",
 	"gillis/internal/gateway",
+	"gillis/internal/adapt",
 }
 
 // nodetermBanned maps an import path to the package-level names that read

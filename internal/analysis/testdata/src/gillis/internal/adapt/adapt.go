@@ -1,0 +1,30 @@
+// Package adapt is a nodeterm fixture impersonating the adaptive
+// controller: the loader remaps testdata/src/<path> to <path>, so this
+// file type-checks as gillis/internal/adapt. The controller's decision log
+// must be a pure function of the observation stream and its config —
+// bit-exact replays and the 100-seed parallelism-invariance property both
+// die on any ambient read below.
+package adapt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadTick times the regime dwell off the wall clock and breaks ties with
+// the global RNG — both banned in a simnet-clocked package.
+func BadTick() float64 {
+	started := time.Now()       // want: wall-clock dwell stamp
+	tie := rand.Intn(2)         // want: global RNG tie-break
+	hold := time.Since(started) // want: wall-clock read
+	return float64(hold) + float64(tie)
+}
+
+// GoodTick derives the dwell from the gateway's virtual now and breaks
+// ties with a seeded RNG.
+func GoodTick(nowVirtual time.Duration, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	dwell := nowVirtual + 100*time.Millisecond
+	_ = dwell
+	return rng.Float64()
+}

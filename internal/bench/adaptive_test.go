@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdaptScenarioQuick pins the headline in quick mode: under a
+// mid-replay fault-regime shift the adaptive controller attains strictly
+// more SLO than the best static plan at bounded cost inflation, and the
+// switcher harness with adaptation disabled reproduces the plain static
+// replay bit-exactly.
+func TestAdaptScenarioQuick(t *testing.T) {
+	ctx := NewContext(42)
+	ctx.Quick = true
+	rep, err := AdaptScenario(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 3 static rows + 1 adaptive, got %d", len(rep.Rows))
+	}
+	if !rep.BaselineBitExact {
+		t.Error("switcher harness with nil controller must reproduce the plain replay bit-exactly")
+	}
+	h := rep.Headline
+	if h.AdaptiveSLOPct <= h.BestStaticSLOPct {
+		t.Errorf("adaptive SLO %.1f%% must strictly beat best static (%s) %.1f%%\n%s",
+			h.AdaptiveSLOPct, h.BestStatic, h.BestStaticSLOPct, rep.Table())
+	}
+	if h.CostRatio > 1.5 {
+		t.Errorf("adaptive cost ratio %.2fx exceeds the 1.5x bound over %s\n%s",
+			h.CostRatio, h.BestStatic, rep.Table())
+	}
+	if rep.DecisionLog == "" || !strings.Contains(rep.DecisionLog, "switch:") {
+		t.Errorf("adaptive replay recorded no plan switch:\n%s", rep.DecisionLog)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,6 +53,14 @@ type Config struct {
 	Input func(i int) *tensor.Tensor
 	// Policy is the autoscaler (default NonePolicy).
 	Policy Policy
+	// Window sizes the sliding last-N-settles window behind the windowed
+	// report fields and ControlObservation (default 50).
+	Window int
+	// Controller, when set, closes the adaptive loop: it is ticked every
+	// TickMs with a ControlObservation and its directives (plan switches,
+	// brownout) are applied before autoscaling. Nil leaves the replay's
+	// platform actions exactly as without a controller.
+	Controller Controller
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policy == nil {
 		c.Policy = NonePolicy{}
+	}
+	if c.Window <= 0 {
+		c.Window = 50
 	}
 	return c
 }
@@ -90,6 +101,10 @@ type Outcome struct {
 	Err string
 	// SLOOK reports the query was served successfully within Config.SLOMs.
 	SLOOK bool
+	// FaultKind is the typed platform fault kind behind Err ("failure",
+	// "timeout", "evicted", "throttled"), "other" for untyped terminal
+	// errors, and empty for served or shed queries.
+	FaultKind string
 	// Output is the inference result (Real mode only).
 	Output *tensor.Tensor
 	// Trace is the query's span tree (Config.Traced only; nil for shed
@@ -101,8 +116,10 @@ type Outcome struct {
 // most one process at a time, but processes are goroutines and the race
 // detector rightly wants explicit synchronization.
 type gateway struct {
-	d   *runtime.Deployment
-	cfg Config
+	b       Backend
+	cfg     Config
+	reg     *trace.Registry
+	billed0 int64
 
 	mu       sync.Mutex
 	inFlight int
@@ -113,16 +130,31 @@ type gateway struct {
 	outcomes []Outcome
 	scaleErr error
 
+	// Cumulative settle classification and the sliding window, maintained
+	// incrementally so the controller reads them without a scan.
+	served, shed, faulted, sloAttained int
+	faultKinds                         map[string]int
+	window                             []windowEntry
+
+	// Brownout episode state (written only by the autoscale process).
+	brownout      bool
+	brownoutSince time.Duration
+	brownoutMs    float64
+	brownoutSheds int
+	planSwitches  int
+
 	mQueries, mAdmitted, mShed, mServed, mFaulted *trace.Counter
 	mSLOOK, mSLOViolated, mColdStarts             *trace.Counter
+	mPlanSwitches, mBrownouts, mBrownoutShed      *trace.Counter
 	hQueueDepth, hQueueWaitMs, hTotalMs           *trace.Histogram
 }
 
 // Run replays the arrival trace (strictly increasing offsets, as produced
-// by package workload) against the deployment and drains the simulation.
-// It returns the aggregate LoadReport alongside every query's Outcome,
-// indexed by arrival order.
-func Run(d *runtime.Deployment, arrivals []time.Duration, cfg Config) (*LoadReport, []Outcome, error) {
+// by package workload) against the backend — a plain deployment, or a
+// runtime.Switcher when an adaptive controller swaps plans — and drains the
+// simulation. It returns the aggregate LoadReport alongside every query's
+// Outcome, indexed by arrival order.
+func Run(b Backend, arrivals []time.Duration, cfg Config) (*LoadReport, []Outcome, error) {
 	if cfg.MaxInFlight <= 0 {
 		return nil, nil, fmt.Errorf("gateway: MaxInFlight must be positive, got %d", cfg.MaxInFlight)
 	}
@@ -130,27 +162,33 @@ func Run(d *runtime.Deployment, arrivals []time.Duration, cfg Config) (*LoadRepo
 		return nil, nil, fmt.Errorf("gateway: QueueCap must be non-negative, got %d", cfg.QueueCap)
 	}
 	cfg = cfg.withDefaults()
-	p := d.Platform()
+	p := b.Platform()
 	reg := p.Metrics()
 	g := &gateway{
-		d:            d,
-		cfg:          cfg,
-		total:        len(arrivals),
-		outcomes:     make([]Outcome, len(arrivals)),
-		mQueries:     reg.Counter("gateway.queries"),
-		mAdmitted:    reg.Counter("gateway.admitted"),
-		mShed:        reg.Counter("gateway.shed"),
-		mServed:      reg.Counter("gateway.served"),
-		mFaulted:     reg.Counter("gateway.faulted"),
-		mSLOOK:       reg.Counter("gateway.slo_attained"),
-		mSLOViolated: reg.Counter("gateway.slo_violated"),
-		mColdStarts:  reg.Counter("gateway.cold_starts"),
-		hQueueDepth:  reg.Histogram("gateway.queue_depth"),
-		hQueueWaitMs: reg.Histogram("gateway.queue_wait_ms"),
-		hTotalMs:     reg.Histogram("gateway.total_ms"),
+		b:             b,
+		cfg:           cfg,
+		reg:           reg,
+		total:         len(arrivals),
+		outcomes:      make([]Outcome, len(arrivals)),
+		faultKinds:    make(map[string]int),
+		mQueries:      reg.Counter("gateway.queries"),
+		mAdmitted:     reg.Counter("gateway.admitted"),
+		mShed:         reg.Counter("gateway.shed"),
+		mServed:       reg.Counter("gateway.served"),
+		mFaulted:      reg.Counter("gateway.faulted"),
+		mSLOOK:        reg.Counter("gateway.slo_attained"),
+		mSLOViolated:  reg.Counter("gateway.slo_violated"),
+		mColdStarts:   reg.Counter("gateway.cold_starts"),
+		mPlanSwitches: reg.Counter("gateway.plan_switches"),
+		mBrownouts:    reg.Counter("gateway.brownouts"),
+		mBrownoutShed: reg.Counter("gateway.brownout_shed"),
+		hQueueDepth:   reg.Histogram("gateway.queue_depth"),
+		hQueueWaitMs:  reg.Histogram("gateway.queue_wait_ms"),
+		hTotalMs:      reg.Histogram("gateway.total_ms"),
 	}
 
 	billed0 := p.BilledMsTotal()
+	g.billed0 = billed0
 	prewarm0 := p.PrewarmBilledMs()
 	env := p.Env()
 
@@ -190,6 +228,18 @@ func (g *gateway) query(proc *simnet.Proc, i int) {
 		g.inFlight++
 		g.hQueueDepth.Observe(float64(len(g.queue)))
 		g.mu.Unlock()
+	case g.brownout:
+		// Brownout: the queue is closed. An arrival that cannot start
+		// immediately is shed with the typed brownout error; entries already
+		// queued keep their place.
+		g.brownoutSheds++
+		g.hQueueDepth.Observe(float64(len(g.queue)))
+		g.mu.Unlock()
+		g.mShed.Inc()
+		g.mBrownoutShed.Inc()
+		g.mSLOViolated.Inc()
+		g.settle(i, Outcome{ID: i, ArrivalMs: arrivalMs, Shed: true, Err: ErrBrownout.Error()})
+		return
 	case len(g.queue) < g.cfg.QueueCap:
 		pr := simnet.NewPromise[struct{}](proc.Env())
 		g.queue = append(g.queue, pr)
@@ -241,9 +291,9 @@ func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
 	var tr *trace.Trace
 	var err error
 	if g.cfg.Traced {
-		res, tr, err = g.d.ServeTraced(proc, in)
+		res, tr, err = g.b.ServeTraced(proc, in)
 	} else {
-		res, err = g.d.Serve(proc, in)
+		res, err = g.b.Serve(proc, in)
 	}
 	o := Outcome{
 		ID:        i,
@@ -257,8 +307,14 @@ func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
 	if err != nil {
 		o.Err = err.Error()
 		o.BilledMs = platform.BilledMsOf(err)
+		if k, ok := platform.FaultKindOf(err); ok {
+			o.FaultKind = k.String()
+		} else {
+			o.FaultKind = "other"
+		}
 		g.mFaulted.Inc()
 		g.mSLOViolated.Inc()
+		g.reg.Counter("gateway.faults." + o.FaultKind).Inc()
 		return o
 	}
 	o.LatencyMs = res.LatencyMs
@@ -278,12 +334,34 @@ func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
 	return o
 }
 
-// settle records the outcome and counts the query done (the autoscaler's
-// exit condition).
+// settle records the outcome, classifies it into the cumulative and
+// windowed aggregates, and counts the query done (the autoscaler's exit
+// condition).
 func (g *gateway) settle(i int, o Outcome) {
+	e := windowEntry{sloOK: o.SLOOK, totalMs: o.TotalMs}
 	g.mu.Lock()
 	g.outcomes[i] = o
 	g.done++
+	switch {
+	case o.Shed:
+		g.shed++
+		e.shed = true
+	case o.Err != "":
+		g.faulted++
+		e.faulted = true
+		kind := o.FaultKind
+		if kind == "" {
+			kind = "other"
+		}
+		g.faultKinds[kind]++
+	default:
+		g.served++
+		e.served = true
+		if o.SLOOK {
+			g.sloAttained++
+		}
+	}
+	g.recordWindow(e)
 	g.mu.Unlock()
 }
 
@@ -302,15 +380,26 @@ func (g *gateway) autoscale(proc *simnet.Proc) {
 		}
 		g.mu.Unlock()
 		if obs.Done >= obs.Total {
+			// Close any still-open brownout episode so the report's
+			// accumulated duration covers it.
+			if g.brownout {
+				g.setBrownout(proc, false)
+			}
 			return
 		}
-		obs.WarmSets = g.d.WarmSets()
+		// The adaptive controller ticks first, so autoscaling targets the
+		// plan (and admission mode) its directive selects.
+		g.controlTick(proc, obs)
+		if g.scaleErr != nil {
+			return
+		}
+		obs.WarmSets = g.b.WarmSets()
 		target := g.cfg.Policy.Target(proc.Now(), obs)
 		// Busy instances return to the pool when they finish, so the
 		// standing capacity is warm sets plus in-flight queries; only the
 		// shortfall needs new instances.
 		for have := obs.WarmSets + obs.InFlight; have < target; have++ {
-			if err := g.d.Prewarm(); err != nil {
+			if err := g.b.Prewarm(); err != nil {
 				g.mu.Lock()
 				if g.scaleErr == nil {
 					g.scaleErr = fmt.Errorf("gateway: prewarm: %w", err)

@@ -320,7 +320,10 @@ func TestPolicyTargets(t *testing.T) {
 	if got := ba.Target(9500*time.Millisecond, obs); got != 5 {
 		t.Errorf("lead-in target %d, want 5", got)
 	}
-	for _, p := range []Policy{NonePolicy{}, TargetConcurrency{}, BurstAware{}} {
+	if got := (FixedPool{Sets: 4}).Target(0, obs); got != 4 {
+		t.Errorf("FixedPool target %d, want 4", got)
+	}
+	for _, p := range []Policy{NonePolicy{}, TargetConcurrency{}, BurstAware{}, FixedPool{}} {
 		if p.Name() == "" {
 			t.Errorf("%T has no name", p)
 		}

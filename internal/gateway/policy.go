@@ -85,3 +85,19 @@ func (p BurstAware) Target(now time.Duration, obs Observation) int {
 	}
 	return int(math.Ceil(rate * p.EstServeMs / 1000))
 }
+
+// FixedPool keeps a constant number of warm instance sets standing by for
+// the active deployment. On a plain backend it is a static warm pool; on a
+// switcher it re-warms each newly activated plan within a control tick,
+// which is what keeps a controller's plan switch from paying a cold-start
+// burst on its first queries.
+type FixedPool struct {
+	// Sets is the warm-set target (typically the gateway's MaxInFlight).
+	Sets int
+}
+
+// Name implements Policy.
+func (p FixedPool) Name() string { return "fixed-pool" }
+
+// Target implements Policy.
+func (p FixedPool) Target(time.Duration, Observation) int { return p.Sets }

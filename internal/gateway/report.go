@@ -45,6 +45,23 @@ type LoadReport struct {
 	CostPer1K float64 `json:"cost_per_1k_ms"`
 	// MakespanMs spans the first arrival to the last settle.
 	MakespanMs float64 `json:"makespan_ms"`
+	// FaultsByKind partitions Faulted by typed platform fault kind (plus
+	// "other" for untyped terminal errors). Omitted when nothing faulted.
+	FaultsByKind map[string]int `json:"faults_by_kind,omitempty"`
+	// Window is the sliding-window size behind WindowSLOPct, which reports
+	// SLO attainment over the last Window settles of the replay — the
+	// drift signal the adaptive controller watches, frozen at its final
+	// value.
+	Window       int     `json:"window"`
+	WindowSLOPct float64 `json:"window_slo_pct"`
+	// Controller names the adaptive controller, when one ran.
+	Controller string `json:"controller,omitempty"`
+	// PlanSwitches counts controller-commanded plan swaps; BrownoutSheds
+	// the queries shed by brownout admission; BrownoutMs the accumulated
+	// brownout duration.
+	PlanSwitches  int     `json:"plan_switches,omitempty"`
+	BrownoutSheds int     `json:"brownout_sheds,omitempty"`
+	BrownoutMs    float64 `json:"brownout_ms,omitempty"`
 }
 
 // report builds the LoadReport from settled outcomes. The makespan comes
@@ -57,6 +74,28 @@ func (g *gateway) report(billedMs, prewarmMs int64) *LoadReport {
 		MaxQueue:        g.maxQueue,
 		BilledMs:        billedMs - prewarmMs,
 		PrewarmBilledMs: prewarmMs,
+		Window:          g.cfg.Window,
+		PlanSwitches:    g.planSwitches,
+		BrownoutSheds:   g.brownoutSheds,
+		BrownoutMs:      round3(g.brownoutMs),
+	}
+	if g.cfg.Controller != nil {
+		rep.Controller = g.cfg.Controller.Name()
+	}
+	if len(g.faultKinds) > 0 {
+		rep.FaultsByKind = make(map[string]int, len(g.faultKinds))
+		for k, n := range g.faultKinds {
+			rep.FaultsByKind[k] = n
+		}
+	}
+	var winOK int
+	for _, e := range g.window {
+		if e.sloOK {
+			winOK++
+		}
+	}
+	if len(g.window) > 0 {
+		rep.WindowSLOPct = round3(100 * float64(winOK) / float64(len(g.window)))
 	}
 	var totals []float64
 	var sum, firstArrival, lastSettle float64

@@ -67,6 +67,45 @@ func Build(cfg platform.Config, seed int64, repeats, commRuns int) (*Model, erro
 // Platform returns the platform profile the model was fitted for.
 func (m *Model) Platform() platform.Config { return m.cfg }
 
+// Priors rescale a fitted model against live telemetry: the adaptive
+// controller observes attained compute times and invocation overheads,
+// compares them with the model's predictions, and derives multiplicative
+// corrections. Scale 1 means "as fitted"; 2 means "the platform is running
+// twice as slow as profiled".
+type Priors struct {
+	// ComputeScale multiplies every layer-model coefficient (degraded or
+	// straggler-heavy platforms inflate compute uniformly to first order).
+	ComputeScale float64
+	// CommScale linearly rescales the invocation-overhead EMG (Mu and
+	// Sigma scale up, Lambda — a rate — scales down), preserving its shape
+	// while moving its mean and tail together.
+	CommScale float64
+}
+
+// WithPriors returns a new model with the priors applied to a copy of this
+// model's fitted components; the receiver is unchanged. Planners re-run
+// against the returned model to produce plans matched to the observed
+// regime.
+func (m *Model) WithPriors(pr Priors) (*Model, error) {
+	if pr.ComputeScale <= 0 || pr.CommScale <= 0 {
+		return nil, fmt.Errorf("perf: non-positive prior scales %+v", pr)
+	}
+	layers := make(map[nn.Kind][]float64, len(m.layers))
+	for k, w := range m.layers {
+		sw := make([]float64, len(w))
+		for i, c := range w {
+			sw[i] = c * pr.ComputeScale
+		}
+		layers[k] = sw
+	}
+	comm := stats.EMG{
+		Mu:     m.comm.Mu * pr.CommScale,
+		Sigma:  m.comm.Sigma * pr.CommScale,
+		Lambda: m.comm.Lambda / pr.CommScale,
+	}
+	return New(m.cfg, layers, comm, m.netMBps)
+}
+
 // Comm returns the fitted invocation-overhead distribution.
 func (m *Model) Comm() stats.EMG { return m.comm }
 

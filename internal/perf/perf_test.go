@@ -308,3 +308,81 @@ func TestParallelismSweetSpot(t *testing.T) {
 		t.Fatalf("KNIX should degrade less at 16 workers: knix %.2f vs lambda %.2f", knixDegrade, lamDegrade)
 	}
 }
+
+func TestWithPriors(t *testing.T) {
+	m := lambda(t)
+	units := unitsOf(t, "vgg19")
+
+	if _, err := m.WithPriors(Priors{ComputeScale: 0, CommScale: 1}); err == nil {
+		t.Fatal("expected non-positive ComputeScale error")
+	}
+	if _, err := m.WithPriors(Priors{ComputeScale: 1, CommScale: -2}); err == nil {
+		t.Fatal("expected non-positive CommScale error")
+	}
+
+	// Identity priors reproduce the fitted model's predictions exactly.
+	id, err := m.WithPriors(Priors{ComputeScale: 1, CommScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.UnitTimeMs(units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := id.UnitTimeMs(units[0]); got != base {
+		t.Errorf("identity priors changed compute: %v vs %v", got, base)
+	}
+	if id.Comm() != m.Comm() {
+		t.Errorf("identity priors changed comm: %+v vs %+v", id.Comm(), m.Comm())
+	}
+
+	// A 2x compute prior doubles per-unit compute predictions and leaves
+	// the receiver untouched.
+	scaled, err := m.WithPriors(Priors{ComputeScale: 2, CommScale: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scaled.UnitTimeMs(units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2*base) > 1e-9*base {
+		t.Errorf("2x compute prior: %v, want %v", got, 2*base)
+	}
+	if after, _ := m.UnitTimeMs(units[0]); after != base {
+		t.Errorf("receiver mutated by WithPriors: %v vs %v", after, base)
+	}
+
+	// The comm prior scales the EMG mean (Mu + 1/Lambda) linearly and
+	// keeps the distribution valid.
+	if err := scaled.Comm().Validate(); err != nil {
+		t.Fatalf("scaled comm invalid: %v", err)
+	}
+	baseMean := m.Comm().Mu + 1/m.Comm().Lambda
+	scaledMean := scaled.Comm().Mu + 1/scaled.Comm().Lambda
+	if math.Abs(scaledMean-1.5*baseMean) > 1e-9*baseMean {
+		t.Errorf("comm mean scaled to %v, want %v", scaledMean, 1.5*baseMean)
+	}
+
+	// Plan predictions under inflated priors dominate the fitted ones —
+	// the property replanning relies on.
+	plan := &partition.Plan{
+		Model: "vgg19",
+		Groups: []partition.GroupPlan{{
+			First: 0, Last: len(units) - 1,
+			Option:   partition.Option{Dim: partition.DimNone, Parts: 1},
+			OnMaster: true,
+		}},
+	}
+	pBase, err := m.PredictPlan(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pScaled, err := scaled.PredictPlan(units, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pScaled.LatencyMs <= pBase.LatencyMs {
+		t.Errorf("inflated priors must inflate latency: %v vs %v", pScaled.LatencyMs, pBase.LatencyMs)
+	}
+}

@@ -551,3 +551,141 @@ func TestThrottleDoesNotPerturbFaultStream(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultScheduleResolvesByTime(t *testing.T) {
+	degraded := FaultProfile{FailureProb: 0.5}
+	recovered := FaultProfile{}
+	cfg := fastCfg()
+	cfg.Faults = FaultProfile{StragglerProb: 0.1}
+	// Deliberately out of order: New sorts a copy by AtMs.
+	cfg.FaultSchedule = []FaultTransition{
+		{AtMs: 2000, Profile: recovered},
+		{AtMs: 1000, Profile: degraded},
+	}
+	p := New(simnet.NewEnv(), cfg, 1)
+	if got := p.Config().FaultSchedule[0].AtMs; got != 1000 {
+		t.Fatalf("schedule not sorted: first transition at %v", got)
+	}
+	cases := []struct {
+		atMs float64
+		want FaultProfile
+	}{
+		{0, cfg.Faults},
+		{999, cfg.Faults},
+		{1000, degraded}, // transition instant inclusive
+		{1999, degraded},
+		{2000, recovered},
+		{50000, recovered},
+	}
+	for _, c := range cases {
+		if got := p.FaultsAt(time.Duration(c.atMs) * time.Millisecond); got != c.want {
+			t.Errorf("FaultsAt(%v ms) = %+v, want %+v", c.atMs, got, c.want)
+		}
+	}
+}
+
+func TestFaultScheduleAppliesMidReplay(t *testing.T) {
+	// Healthy at t=0, every invocation crashes from t=1s, healthy again
+	// from t=2s. The profile is resolved at each invocation's dispatch.
+	cfg := fastCfg()
+	cfg.FaultSchedule = []FaultTransition{
+		{AtMs: 1000, Profile: FaultProfile{FailureProb: 1}},
+		{AtMs: 2000, Profile: FaultProfile{}},
+	}
+	runSim(t, cfg, 5, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(2e8) // 10 ms
+			return Payload{Bytes: 10}, nil
+		})
+		invoke := func() error {
+			_, err := p.InvokeFrom(proc, "f", Payload{})
+			return err
+		}
+		if err := invoke(); err != nil {
+			t.Fatalf("healthy phase failed: %v", err)
+		}
+		proc.Sleep(1200*time.Millisecond - (proc.Now()-proc.Now()%time.Millisecond)%time.Millisecond)
+		for proc.Now() < 1200*time.Millisecond {
+			proc.Sleep(1200*time.Millisecond - proc.Now())
+		}
+		err := invoke()
+		var ie *InvokeError
+		if !errors.As(err, &ie) || ie.Kind != FaultFailure {
+			t.Fatalf("degraded phase: want FaultFailure, got %v", err)
+		}
+		if k, ok := FaultKindOf(err); !ok || k != FaultFailure {
+			t.Errorf("FaultKindOf = %v,%v, want failure,true", k, ok)
+		}
+		for proc.Now() < 2500*time.Millisecond {
+			proc.Sleep(2500*time.Millisecond - proc.Now())
+		}
+		if err := invoke(); err != nil {
+			t.Fatalf("recovered phase failed: %v", err)
+		}
+	})
+}
+
+func TestFaultScheduleTimeoutApplies(t *testing.T) {
+	// A TimeoutMs that only exists in a scheduled profile must kill
+	// handlers dispatched after the transition — the limit is resolved per
+	// invocation, not from the static profile.
+	cfg := fastCfg()
+	cfg.FaultSchedule = []FaultTransition{
+		{AtMs: 500, Profile: FaultProfile{TimeoutMs: 50}},
+	}
+	runSim(t, cfg, 6, func(p *Platform, proc *simnet.Proc) {
+		_ = p.Register("slow", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(4e9) // 200 ms >> the scheduled 50 ms limit
+			return Payload{}, nil
+		})
+		if _, err := p.InvokeFrom(proc, "slow", Payload{}); err != nil {
+			t.Fatalf("pre-transition invocation must not be killed: %v", err)
+		}
+		for proc.Now() < 600*time.Millisecond {
+			proc.Sleep(600*time.Millisecond - proc.Now())
+		}
+		res, err := p.InvokeFrom(proc, "slow", Payload{})
+		if k, ok := FaultKindOf(err); !ok || k != FaultTimeout {
+			t.Fatalf("post-transition: want FaultTimeout, got %v", err)
+		}
+		if res.HandlerMs != 50 {
+			t.Errorf("killed at %v ms, want exactly the 50 ms limit", res.HandlerMs)
+		}
+	})
+}
+
+func TestEmptyFaultScheduleByteIdentical(t *testing.T) {
+	// A nil schedule — and a schedule whose only transition re-asserts the
+	// base profile — must leave a stochastic replay bit-identical to the
+	// single-profile configuration.
+	type tally struct {
+		faulted, billed int64
+		end             time.Duration
+	}
+	replay := func(sched []FaultTransition) tally {
+		env := simnet.NewEnv()
+		cfg := AWSLambda()
+		cfg.Faults = FaultProfile{FailureProb: 0.2, StragglerProb: 0.1, StragglerFactor: 3}
+		cfg.FaultSchedule = sched
+		p := New(env, cfg, 77)
+		_ = p.Register("f", func(ctx *Ctx, in Payload) (Payload, error) {
+			ctx.Compute(1e9)
+			return Payload{Bytes: 500}, nil
+		})
+		env.Go("driver", func(proc *simnet.Proc) {
+			for i := 0; i < 40; i++ {
+				_, _ = p.InvokeFrom(proc, "f", Payload{Bytes: 200})
+				proc.Sleep(13 * time.Millisecond)
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return tally{p.Faulted(), p.BilledMsTotal(), env.Now()}
+	}
+	base := replay(nil)
+	same := replay([]FaultTransition{{AtMs: 0, Profile: FaultProfile{FailureProb: 0.2, StragglerProb: 0.1, StragglerFactor: 3}}})
+	if base != same {
+		t.Fatalf("schedule re-asserting the base profile diverged: %+v vs %+v", base, same)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,41 @@ type Config struct {
 	// Faults injects platform failures; the zero value models a perfect
 	// cloud (the pre-fault-injection behaviour).
 	Faults FaultProfile
+	// FaultSchedule replaces the active fault profile at scheduled virtual
+	// times, so a replay can cross fault-regime changes (stock platform
+	// degrading mid-trace, then recovering). Faults is in force from t=0;
+	// each transition replaces the active profile wholesale from its
+	// instant. The active profile is a pure function of virtual time, so
+	// scheduled regimes replay exactly. An empty schedule preserves the
+	// single-profile behaviour bit-for-bit.
+	FaultSchedule []FaultTransition
+}
+
+// FaultTransition schedules one wholesale fault-profile replacement.
+type FaultTransition struct {
+	// AtMs is the virtual time, in milliseconds since the simulation
+	// epoch, at which Profile takes effect.
+	AtMs float64
+	// Profile is the fault profile in force from AtMs until the next
+	// transition (if any). It replaces the previous profile entirely —
+	// fields are not merged.
+	Profile FaultProfile
+}
+
+// FaultsAt resolves the fault profile in force at virtual time now:
+// Config.Faults until the first scheduled transition, then the latest
+// transition whose instant has passed. New sorts the schedule by AtMs, so a
+// linear scan resolves it.
+func (c Config) FaultsAt(now time.Duration) FaultProfile {
+	f := c.Faults
+	nowMs := durToMs(now)
+	for _, t := range c.FaultSchedule {
+		if nowMs < t.AtMs {
+			break
+		}
+		f = t.Profile
+	}
+	return f
 }
 
 // FaultProfile describes the imperfections of a real serverless platform:
@@ -194,6 +230,17 @@ func BilledMsOf(err error) int64 {
 		return ie.Res.TotalBilledMs
 	}
 	return 0
+}
+
+// FaultKindOf extracts the fault kind attached to a failed invocation's
+// error. The second return is false when err carries no typed fault (e.g. a
+// plain handler error that never reached the platform).
+func FaultKindOf(err error) (FaultKind, bool) {
+	var ie *InvokeError
+	if errors.As(err, &ie) {
+		return ie.Kind, true
+	}
+	return 0, false
 }
 
 // AWSLambda returns the AWS Lambda profile used in the paper's experiments
@@ -326,6 +373,18 @@ type Platform struct {
 	faulted         int64
 	billedMs        int64
 	prewarmBilledMs int64
+	deploySeq       int64
+}
+
+// NextDeploySeq numbers deployments registered on this platform. Keeping
+// the counter per-platform (not process-global) makes function-name
+// prefixes replay-stable: two identical replays on fresh platforms yield
+// identical names, and therefore bit-identical error strings.
+func (p *Platform) NextDeploySeq() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.deploySeq++
+	return p.deploySeq
 }
 
 // pmetrics caches the platform's metric handles so the invocation hot path
@@ -370,6 +429,11 @@ type Object struct {
 
 // New creates a platform simulation bound to env.
 func New(env *simnet.Env, cfg Config, seed int64) *Platform {
+	if len(cfg.FaultSchedule) > 1 {
+		sched := append([]FaultTransition(nil), cfg.FaultSchedule...)
+		sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtMs < sched[j].AtMs })
+		cfg.FaultSchedule = sched
+	}
 	return &Platform{
 		cfg:      cfg,
 		env:      env,
@@ -398,6 +462,11 @@ const faultSeedSalt = 0x5e3779b97f4a7c15
 
 // Config returns the platform profile.
 func (p *Platform) Config() Config { return p.cfg }
+
+// FaultsAt resolves the fault profile in force at virtual time now,
+// honouring the configured FaultSchedule. Controllers use it to learn the
+// scheduled regime without re-deriving the schedule.
+func (p *Platform) FaultsAt(now time.Duration) FaultProfile { return p.cfg.FaultsAt(now) }
 
 // Env returns the simulation environment.
 func (p *Platform) Env() *simnet.Env { return p.env }
@@ -753,8 +822,10 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, n
 
 	// Fault draws: always in the same per-invocation order, from the
 	// dedicated fault RNG, so the schedule is a pure function of the
-	// platform seed and the (deterministic) invocation order.
-	faults := p.cfg.Faults
+	// platform seed and the (deterministic) invocation order. The profile
+	// is resolved at the draw instant, so a scheduled regime change applies
+	// to every invocation dispatched after its transition time.
+	faults := p.cfg.FaultsAt(proc.Now())
 	var evicted, crash bool
 	slow := 1.0
 	if faults.active() {
@@ -826,7 +897,7 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, n
 		slow:     slow,
 	}
 	ctx.start = proc.Now()
-	resp, herr, timedOut := p.runHandler(proc, ctx, f, payload)
+	resp, herr, timedOut := p.runHandler(proc, ctx, f, payload, faults.TimeoutMs)
 
 	res.HandlerMs = durToMs(proc.Now() - ctx.start)
 	if timedOut {
@@ -920,8 +991,7 @@ func (p *Platform) runInvocation(proc *simnet.Proc, from *Ctx, sp *trace.Span, n
 // killed: the invocation returns timedOut=true at exactly TimeoutMs, while
 // the handler keeps draining as a zombie (its compute is skipped and its
 // nested invocations fail fast once the kill flag is set).
-func (p *Platform) runHandler(proc *simnet.Proc, ctx *Ctx, f *functionDef, payload Payload) (Payload, error, bool) {
-	limit := p.cfg.Faults.TimeoutMs
+func (p *Platform) runHandler(proc *simnet.Proc, ctx *Ctx, f *functionDef, payload Payload, limit float64) (Payload, error, bool) {
 	if limit <= 0 {
 		ctx.proc = proc
 		resp, err := f.handler(ctx, payload)

@@ -449,3 +449,33 @@ func TestWarmPoolConcurrentAccounting(t *testing.T) {
 		}
 	})
 }
+
+// TestCtxAndPlatformAccessors pins the handler-visible context accessors
+// and the per-platform deploy-sequence counter the runtime names functions
+// with.
+func TestCtxAndPlatformAccessors(t *testing.T) {
+	cfg := fastCfg()
+	runSim(t, cfg, 1, func(p *Platform, proc *simnet.Proc) {
+		if p.Env() == nil {
+			t.Error("Env() returned nil")
+		}
+		if s1, s2 := p.NextDeploySeq(), p.NextDeploySeq(); s1 != 1 || s2 != 2 {
+			t.Errorf("deploy sequence = %d, %d; want 1, 2", s1, s2)
+		}
+		_ = p.Register("acc", func(ctx *Ctx, in Payload) (Payload, error) {
+			if ctx.FunctionName() != "acc" {
+				t.Errorf("FunctionName() = %q, want acc", ctx.FunctionName())
+			}
+			if ctx.MemoryMB() != cfg.MemoryMB {
+				t.Errorf("MemoryMB() = %d, want %d", ctx.MemoryMB(), cfg.MemoryMB)
+			}
+			if ctx.Killed() {
+				t.Error("fresh invocation reports Killed")
+			}
+			return Payload{}, nil
+		})
+		if _, err := p.InvokeFrom(proc, "acc", Payload{}); err != nil {
+			t.Error(err)
+		}
+	})
+}

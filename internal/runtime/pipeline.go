@@ -46,7 +46,7 @@ func DeployPipeline(p *platform.Platform, units []*partition.Unit, mode ExecMode
 		p:      p,
 		units:  units,
 		mode:   mode,
-		prefix: fmt.Sprintf("%s-pipe%d", modelNameOf(units), deploySeq.Add(1)),
+		prefix: fmt.Sprintf("%s-pipe%d", modelNameOf(units), p.NextDeploySeq()),
 	}
 	for _, opt := range opts {
 		opt(&d.opts)

@@ -196,7 +196,7 @@ func (d *Deployment) attemptWorker(proc *simnet.Proc, ctx *platform.Ctx, gi int,
 
 	var thresh float64
 	hedging := false
-	if d.opts.hedgePctl > 0 {
+	if d.opts.hedgePctl > 0 && !d.hedgeOff.Load() {
 		thresh, hedging = d.hist.threshold(gi, d.opts.hedgePctl)
 	}
 

@@ -39,8 +39,6 @@ const (
 	ShapeOnly
 )
 
-var deploySeq atomic.Int64
-
 // groupRuntime precomputes everything a group needs at query time.
 type groupRuntime struct {
 	gp          partition.GroupPlan
@@ -70,9 +68,20 @@ type Deployment struct {
 	opts   deployOpts
 	hist   *latencyHistory // per-group worker latencies (hedging trigger)
 
+	// hedgeOff suppresses hedged backup requests at serve time without
+	// redeploying — the gateway's brownout mode sheds hedge cost this way.
+	hedgeOff atomic.Bool
+
 	// Master is the entry function name.
 	Master string
 }
+
+// SetHedging enables or disables hedged backup requests between queries.
+// Disabling it overrides WithHedging at serve time (retries and fallback
+// stay active); re-enabling restores the configured behaviour. Safe to call
+// from a controller process between queries — in-flight hedge races are
+// unaffected.
+func (d *Deployment) SetHedging(enabled bool) { d.hedgeOff.Store(!enabled) }
 
 // Deploy validates the plan against the platform's memory budget, registers
 // the master and worker functions, and returns a ready deployment. It
@@ -99,7 +108,7 @@ func Deploy(p *platform.Platform, units []*partition.Unit, plan *partition.Plan,
 		units:  units,
 		plan:   plan,
 		mode:   mode,
-		prefix: fmt.Sprintf("%s-d%d", plan.Model, deploySeq.Add(1)),
+		prefix: fmt.Sprintf("%s-d%d", plan.Model, p.NextDeploySeq()),
 		hist:   newLatencyHistory(),
 	}
 	for _, opt := range opts {

@@ -20,6 +20,7 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -27,6 +28,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -53,6 +55,60 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Gauge returns the named gauge, creating it unset if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Gauge is a point-in-time metric: the current value plus the virtual-time
+// stamp of its last change. Controllers record state through gauges (active
+// plan index, fault-regime estimate, brownout on/off) where a counter's
+// monotonicity is wrong. The stamp is caller-supplied — virtual-clock
+// milliseconds, never wall time — so summaries stay bit-reproducible.
+type Gauge struct {
+	mu        sync.Mutex
+	set       bool
+	value     float64
+	changedMs float64
+}
+
+// Set records v at virtual time atMs. The last-change stamp only advances
+// when the value actually changes (or on the first Set), so an idle
+// controller re-asserting the same state each tick leaves the gauge's
+// history untouched.
+func (g *Gauge) Set(v, atMs float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.set && g.value == v {
+		return
+	}
+	g.set = true
+	g.value = v
+	g.changedMs = atMs
+}
+
+// Value returns the current value (0 when never set).
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.value
+}
+
+// LastChangeMs returns the virtual-time stamp of the last value change and
+// whether the gauge has ever been set.
+func (g *Gauge) LastChangeMs() (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.changedMs, g.set
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -179,6 +235,10 @@ func (r *Registry) Summary() string {
 	for n := range r.counters {
 		cnames = append(cnames, n)
 	}
+	gnames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gnames = append(gnames, n)
+	}
 	hnames := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		hnames = append(hnames, n)
@@ -187,6 +247,10 @@ func (r *Registry) Summary() string {
 	for n, c := range r.counters {
 		counters[n] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for n, h := range r.hists {
 		hists[n] = h
@@ -194,10 +258,22 @@ func (r *Registry) Summary() string {
 	r.mu.Unlock()
 
 	sort.Strings(cnames)
+	sort.Strings(gnames)
 	sort.Strings(hnames)
 	var sb strings.Builder
 	for _, n := range cnames {
 		fmt.Fprintf(&sb, "counter %s %d\n", n, counters[n].Value())
+	}
+	for _, n := range gnames {
+		g := gauges[n]
+		g.mu.Lock()
+		set, value, changed := g.set, g.value, g.changedMs
+		g.mu.Unlock()
+		if !set {
+			fmt.Fprintf(&sb, "gauge %s unset\n", n)
+			continue
+		}
+		fmt.Fprintf(&sb, "gauge %s value=%g last_change_ms=%.3f\n", n, value, changed)
 	}
 	for _, n := range hnames {
 		h := hists[n]

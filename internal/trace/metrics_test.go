@@ -24,6 +24,42 @@ func TestCounterAndRegistry(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("state")
+	if r.Gauge("state") != g {
+		t.Error("get-or-create must return the same handle")
+	}
+	if v := g.Value(); v != 0 {
+		t.Errorf("unset gauge value = %v, want 0", v)
+	}
+	if _, set := g.LastChangeMs(); set {
+		t.Error("new gauge must report unset")
+	}
+	g.Set(2, 100)
+	if v := g.Value(); v != 2 {
+		t.Errorf("value = %v, want 2", v)
+	}
+	if at, set := g.LastChangeMs(); !set || at != 100 {
+		t.Errorf("last change = %v,%v, want 100,true", at, set)
+	}
+	// Re-asserting the same value must not advance the stamp.
+	g.Set(2, 200)
+	if at, _ := g.LastChangeMs(); at != 100 {
+		t.Errorf("stamp advanced on no-op Set: %v", at)
+	}
+	g.Set(3, 300)
+	if at, _ := g.LastChangeMs(); at != 300 {
+		t.Errorf("stamp = %v, want 300", at)
+	}
+	// First Set always stamps, even when setting the zero value.
+	z := r.Gauge("zero")
+	z.Set(0, 50)
+	if at, set := z.LastChangeMs(); !set || at != 50 {
+		t.Errorf("zero-value first Set: %v,%v, want 50,true", at, set)
+	}
+}
+
 func TestHistogramStats(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat")
@@ -82,6 +118,8 @@ func TestSummaryDeterministic(t *testing.T) {
 		h.Observe(1)
 		h.Observe(9)
 		r.Histogram("m.empty")
+		r.Gauge("g.plan").Set(1, 250)
+		r.Gauge("g.unset")
 		return r
 	}
 	a, b := build().Summary(), build().Summary()
@@ -92,6 +130,8 @@ func TestSummaryDeterministic(t *testing.T) {
 	want := []string{
 		"counter a.first 1",
 		"counter z.last 2",
+		"gauge g.plan value=1 last_change_ms=250.000",
+		"gauge g.unset unset",
 		"histogram m.empty count=0",
 	}
 	for i, w := range want {
@@ -99,8 +139,8 @@ func TestSummaryDeterministic(t *testing.T) {
 			t.Errorf("line %d = %q, want %q", i, lines[i], w)
 		}
 	}
-	if !strings.HasPrefix(lines[3], "histogram m.lat count=2 sum=10.000 min=1.000 mean=5.000") {
-		t.Errorf("histogram line = %q", lines[3])
+	if !strings.HasPrefix(lines[5], "histogram m.lat count=2 sum=10.000 min=1.000 mean=5.000") {
+		t.Errorf("histogram line = %q", lines[5])
 	}
 }
 
@@ -121,6 +161,7 @@ func TestRegistryConcurrent(t *testing.T) {
 				r.Counter("shared").Inc()
 				r.Counter(fmt.Sprintf("own.%d", w)).Inc()
 				r.Histogram("shared.h").Observe(float64(i % 17))
+				r.Gauge("shared.g").Set(float64(i%3), float64(i))
 				if i%100 == 0 {
 					_ = r.Summary() // concurrent reads race against writes
 				}

@@ -7,9 +7,9 @@
 GO ?= go
 RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet \
 	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis \
-	./internal/gateway ./internal/adapt
+	./internal/gateway ./internal/adapt ./internal/batching
 
-.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load bench-adapt
+.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load bench-adapt bench-batch
 
 ci: lint build test race chaos
 
@@ -74,3 +74,8 @@ bench-load:
 # scenario, fully seeded and ShapeOnly: same output on any machine).
 bench-adapt:
 	$(GO) run ./cmd/gillis-bench -seed 42 -adapt -adapt-json BENCH_adapt.json
+
+# Regenerate the checked-in cross-query batching baseline (quick-mode sweep,
+# fully seeded and ShapeOnly: same output on any machine).
+bench-batch:
+	$(GO) run ./cmd/gillis-bench -quick -seed 42 -batch -batch-json BENCH_batch.json

@@ -9,7 +9,7 @@
 //	             [-kernels-json FILE] [-kernels-baseline FILE] [-kernels-check]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //	             [-trace-json FILE] [-load] [-load-json FILE]
-//	             [-adapt] [-adapt-json FILE]
+//	             [-adapt] [-adapt-json FILE] [-batch] [-batch-json FILE]
 //
 // -trace-json serves one seeded resilient fork-join query of the chaos
 // workload under fault injection and writes its span tree as Chrome
@@ -26,6 +26,12 @@
 // controller while the platform degrades, recovers, and takes a traffic
 // surge mid-replay, skipping the figure sweep; -adapt-json additionally
 // writes the scenario as JSON (the BENCH_adapt.json baseline).
+//
+// -batch replays Poisson arrival traces through the batching gateway,
+// sweeping batch size × arrival rate × planner (latency-optimal vs
+// throughput-optimal) and reporting throughput, tail latency, and cost per
+// query, skipping the figure sweep; -batch-json additionally writes the
+// sweep as JSON (the BENCH_batch.json baseline).
 package main
 
 import (
@@ -91,6 +97,8 @@ func run(args []string, stdout io.Writer) error {
 	loadJSON := fs.String("load-json", "", "write the load sweep as JSON to this file (BENCH_load.json baseline; implies -load)")
 	adaptFlag := fs.Bool("adapt", false, "run the adaptive re-planning scenario (static plans vs closed-loop controller across fault-regime and load shifts), skipping the figure sweep")
 	adaptJSON := fs.String("adapt-json", "", "write the adaptive scenario as JSON to this file (BENCH_adapt.json baseline; implies -adapt)")
+	batchFlag := fs.Bool("batch", false, "run the cross-query batching sweep (throughput + cost vs batch size x rate x planner), skipping the figure sweep")
+	batchJSON := fs.String("batch-json", "", "write the batching sweep as JSON to this file (BENCH_batch.json baseline; implies -batch)")
 	traceJSON := fs.String("trace-json", "", "trace one fork-join query and write Chrome trace-event JSON to this file")
 	traceFaults := fs.Float64("trace-faults", 0.05, "fault rate for the traced query (-trace-json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -170,6 +178,25 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "adaptive scenario written to %s\n", *adaptJSON)
+		}
+		return nil
+	}
+
+	if *batchFlag || *batchJSON != "" {
+		report, err := bench.SweepBatch(ctx)
+		if err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+		fmt.Fprintln(stdout, report.Table())
+		if *batchJSON != "" {
+			js, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*batchJSON, js, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "batch sweep written to %s\n", *batchJSON)
 		}
 		return nil
 	}

@@ -179,7 +179,9 @@ type predictResponse struct {
 	Output    []float32 `json:"output"`
 	LatencyMs float64   `json:"latencyMs"` // simulated serverless latency
 	BilledMs  int64     `json:"billedMs"`
-	SLOOk     bool      `json:"sloOk"` // within -slo-ms (always true when unset)
+	QueueMs   float64   `json:"queueMs"`   // admission-queue (and batch-forming) wait
+	BatchSize int       `json:"batchSize"` // queries served in this query's batch
+	SLOOk     bool      `json:"sloOk"`     // within -slo-ms (always true when unset)
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -232,6 +234,8 @@ func (s *server) infer(input *tensor.Tensor) (*predictResponse, error) {
 		Output:    o.Output.Data(),
 		LatencyMs: o.LatencyMs,
 		BilledMs:  o.BilledMs,
+		QueueMs:   o.QueueMs,
+		BatchSize: o.BatchSize,
 		SLOOk:     o.SLOOK,
 	}, nil
 }

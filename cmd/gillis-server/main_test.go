@@ -198,3 +198,41 @@ func TestPredictRespectsSLOFlag(t *testing.T) {
 		t.Errorf("warm demo inference (%.1f ms) should be within the %0.f ms test SLO", pr.LatencyMs, 2000.0)
 	}
 }
+
+// TestPredictReportsQueueAndBatch pins the per-query accounting fields: a
+// single-arrival replay is served alone (batch size 1) with no admission
+// queueing, and both fields must round-trip the response JSON alongside
+// sloOk.
+func TestPredictReportsQueueAndBatch(t *testing.T) {
+	ts := demoServer(t)
+	in := tensor.Full(0.75, 3, 32, 32)
+	body, _ := json.Marshal(predictRequest{Shape: in.Shape(), Input: in.Data()})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"queueMs", "batchSize", "sloOk"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("response misses %q:\n%s", key, raw)
+		}
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.BatchSize != 1 {
+		t.Errorf("lone query served with batch size %d, want 1", pr.BatchSize)
+	}
+	if pr.QueueMs != 0 {
+		t.Errorf("lone query with MaxInFlight 1 queued %.3f ms, want 0", pr.QueueMs)
+	}
+}

@@ -27,6 +27,7 @@ var goldenCases = []struct {
 	{AnalyzerNodeterm, "gillis/internal/platform", ""},
 	{AnalyzerNodeterm, "gillis/internal/gateway", "nodeterm_gateway"},
 	{AnalyzerNodeterm, "gillis/internal/adapt", "nodeterm_adapt"},
+	{AnalyzerNodeterm, "gillis/internal/batching", "nodeterm_batching"},
 }
 
 // TestGoldenDiagnostics pins each analyzer's findings over its fixture

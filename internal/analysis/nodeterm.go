@@ -21,6 +21,7 @@ var clockedPkgs = []string{
 	"gillis/internal/workload",
 	"gillis/internal/gateway",
 	"gillis/internal/adapt",
+	"gillis/internal/batching",
 }
 
 // nodetermBanned maps an import path to the package-level names that read

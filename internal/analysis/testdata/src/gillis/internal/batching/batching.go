@@ -1,0 +1,29 @@
+// Package batching is a nodeterm fixture impersonating the cross-query
+// batcher: the loader remaps testdata/src/<path> to <path>, so this file
+// type-checks as gillis/internal/batching. Batch closing decisions must be
+// a pure function of the gateway's virtual clock and the batch state —
+// the golden batch report and the 100-seed batched-replay determinism
+// property both die on any ambient read below.
+package batching
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadClose stamps batch members off the wall clock and jitters the delay
+// bound with the global RNG — both banned in a simnet-clocked package.
+func BadClose() time.Duration {
+	arrived := time.Now()       // want: wall-clock member stamp
+	jitter := rand.Float64()    // want: global RNG delay jitter
+	wait := time.Since(arrived) // want: wall-clock wait read
+	return wait + time.Duration(jitter*1e6)
+}
+
+// GoodClose derives the oldest member's wait from the gateway's virtual
+// now and jitters with a seeded RNG.
+func GoodClose(nowVirtual, oldest time.Duration, seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	wait := nowVirtual - oldest
+	return wait + time.Duration(rng.Float64()*1e6)
+}

@@ -50,7 +50,7 @@ func BayesOpt(m *perf.Model, units []*partition.Unit, tmaxMs float64, cfg BOConf
 		return BOResult{}, fmt.Errorf("core: SLO T_max must be positive, got %v", tmaxMs)
 	}
 	cfg = cfg.withDefaults()
-	pc := newPredCache(m, units)
+	pc := newPredCache(m, units, 1)
 	opts := newGroupOptions(cfg.PartCounts)
 	dims := 2 * len(units)
 

@@ -46,7 +46,7 @@ func BruteForce(m *perf.Model, units []*partition.Unit, tmaxMs float64, cfg BFCo
 		return BFResult{}, fmt.Errorf("core: SLO T_max must be positive, got %v", tmaxMs)
 	}
 	cfg = cfg.withDefaults()
-	pc := newPredCache(m, units)
+	pc := newPredCache(m, units, 1)
 	budget := int64(m.Platform().WeightBudgetMB) * 1e6
 
 	res := BFResult{Exhausted: true}

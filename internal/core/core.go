@@ -37,6 +37,11 @@ type Config struct {
 	// coarse-grained parallelization of §III-C: layer-wise parallelization
 	// with no fusion).
 	DisableGrouping bool
+	// Batch is the queries-per-round the plan is chosen for: group
+	// predictions, feasibility checks, and the returned prediction all use
+	// this batch size. Zero or one plans for single-query serving and
+	// reproduces the unbatched planners bit-for-bit.
+	Batch int
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +51,9 @@ func (c Config) withDefaults() Config {
 	if c.MemStepMB <= 0 {
 		c.MemStepMB = 100
 	}
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
 	return c
 }
 
@@ -54,10 +62,12 @@ func optionsFor(units []*partition.Unit, first, last int, partCounts []int) ([]p
 	return partition.FeasibleOptions(units, first, last, partCounts)
 }
 
-// predCache memoizes group predictions across a planning run.
+// predCache memoizes group predictions across a planning run, all at one
+// fixed batch size.
 type predCache struct {
 	model *perf.Model
 	units []*partition.Unit
+	batch int
 	preds map[groupKey]perf.GroupPrediction
 	exts  map[extKey]partition.Extent
 }
@@ -75,10 +85,14 @@ type extKey struct {
 	parts       int
 }
 
-func newPredCache(m *perf.Model, units []*partition.Unit) *predCache {
+func newPredCache(m *perf.Model, units []*partition.Unit, batch int) *predCache {
+	if batch < 1 {
+		batch = 1
+	}
 	return &predCache{
 		model: m,
 		units: units,
+		batch: batch,
 		preds: make(map[groupKey]perf.GroupPrediction),
 		exts:  make(map[extKey]partition.Extent),
 	}
@@ -102,7 +116,7 @@ func (pc *predCache) predict(gp partition.GroupPlan) (perf.GroupPrediction, erro
 	if p, ok := pc.preds[k]; ok {
 		return p, nil
 	}
-	p, err := pc.model.PredictGroup(pc.units, gp)
+	p, err := pc.model.PredictGroupBatch(pc.units, gp, pc.batch)
 	if err != nil {
 		return perf.GroupPrediction{}, err
 	}

@@ -22,8 +22,24 @@ func LatencyOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partit
 		return nil, perf.PlanPrediction{}, err
 	}
 	cfg = cfg.withDefaults()
-	pc := newPredCache(m, units)
+	pc := newPredCache(m, units, cfg.Batch)
+	plan, err := dpSearch(m, units, cfg, pc, func(p perf.GroupPrediction) float64 { return p.LatencyMs })
+	if err != nil {
+		return nil, perf.PlanPrediction{}, err
+	}
+	pred, err := m.PredictPlanBatch(units, plan, cfg.Batch)
+	if err != nil {
+		return nil, perf.PlanPrediction{}, err
+	}
+	return plan, pred.PlanPrediction, nil
+}
 
+// dpSearch runs the grouping dynamic program against an arbitrary additive
+// per-group objective: LatencyOptimal scores a group by its predicted
+// latency, the throughput planner's cost candidate by its billed-time
+// proxy. Group predictions (and hence scores) are at the cache's batch
+// size. cfg must already have defaults applied.
+func dpSearch(m *perf.Model, units []*partition.Unit, cfg Config, pc *predCache, score func(perf.GroupPrediction) float64) (*partition.Plan, error) {
 	n := len(units)
 	stepBytes := int64(cfg.MemStepMB) * 1e6
 	levels := int(int64(m.Platform().WeightBudgetMB) * 1e6 / stepBytes)
@@ -57,16 +73,16 @@ func LatencyOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partit
 		for k := kMin; k < j; k++ {
 			opts, err := optionsFor(units, k, j-1, cfg.PartCounts)
 			if err != nil {
-				return nil, perf.PlanPrediction{}, err
+				return nil, err
 			}
 			for _, opt := range opts {
 				ext, err := pc.extent(k, j-1, opt)
 				if err != nil {
-					return nil, perf.PlanPrediction{}, err
+					return nil, err
 				}
 				// Partition too large to fit into any function (Algorithm 1
-				// line 7).
-				if ext.WeightBytes+ext.ActBytes > budgetBytes {
+				// line 7); activations scale with the batch.
+				if ext.WeightBytes+ext.ActBytes*int64(pc.batch) > budgetBytes {
 					continue
 				}
 				charge := int((ext.WeightBytes + stepBytes - 1) / stepBytes)
@@ -74,10 +90,10 @@ func LatencyOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partit
 				// Worker-only execution: consumes no master memory.
 				pred, err := pc.predict(partition.GroupPlan{First: k, Last: j - 1, Option: opt})
 				if err != nil {
-					return nil, perf.PlanPrediction{}, err
+					return nil, err
 				}
 				for l := 0; l <= levels; l++ {
-					if cand := best[k][l] + pred.LatencyMs; cand < best[j][l] {
+					if cand := best[k][l] + score(pred); cand < best[j][l] {
 						best[j][l] = cand
 						back[j][l] = choice{k: k, opt: opt, onMaster: false}
 					}
@@ -87,10 +103,10 @@ func LatencyOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partit
 				if charge <= levels && !cfg.DisableMaster {
 					mpred, err := pc.predict(partition.GroupPlan{First: k, Last: j - 1, Option: opt, OnMaster: true})
 					if err != nil {
-						return nil, perf.PlanPrediction{}, err
+						return nil, err
 					}
 					for l := charge; l <= levels; l++ {
-						if cand := best[k][l-charge] + mpred.LatencyMs; cand < best[j][l] {
+						if cand := best[k][l-charge] + score(mpred); cand < best[j][l] {
 							best[j][l] = cand
 							back[j][l] = choice{k: k, opt: opt, onMaster: true, levels: charge}
 						}
@@ -101,7 +117,7 @@ func LatencyOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partit
 	}
 
 	if math.IsInf(best[n][levels], 1) {
-		return nil, perf.PlanPrediction{}, fmt.Errorf("core: no feasible plan for %d units within %d MB functions",
+		return nil, fmt.Errorf("core: no feasible plan for %d units within %d MB functions",
 			n, m.Platform().WeightBudgetMB)
 	}
 
@@ -118,13 +134,9 @@ func LatencyOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partit
 	}
 	plan := &partition.Plan{Model: modelName(units), Groups: reverseGroups(rev)}
 	if err := plan.Validate(units); err != nil {
-		return nil, perf.PlanPrediction{}, fmt.Errorf("core: DP produced invalid plan: %w", err)
+		return nil, fmt.Errorf("core: DP produced invalid plan: %w", err)
 	}
-	pred, err := m.PredictPlan(units, plan)
-	if err != nil {
-		return nil, perf.PlanPrediction{}, err
-	}
-	return plan, pred, nil
+	return plan, nil
 }
 
 func reverseGroups(rev []partition.GroupPlan) []partition.GroupPlan {

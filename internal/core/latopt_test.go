@@ -70,7 +70,7 @@ func TestLatencyOptimalDominatesRandomPlans(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pc := newPredCache(m, units)
+		pc := newPredCache(m, units, 1)
 		budget := int64(m.Platform().WeightBudgetMB) * 1e6
 		rng := rand.New(rand.NewSource(99))
 		tried := 0

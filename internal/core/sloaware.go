@@ -87,7 +87,7 @@ func SLOAware(m *perf.Model, units []*partition.Unit, tmaxMs float64, cfg SLOCon
 	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pc := newPredCache(m, units)
+	pc := newPredCache(m, units, 1)
 
 	opts := newGroupOptions(cfg.PartCounts)
 	agent := newAgents(rng, units, opts, cfg)

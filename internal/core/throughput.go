@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gillis/internal/partition"
+	"gillis/internal/perf"
+)
+
+// ThroughputOptimal chooses the plan that maximizes modeled throughput per
+// cost — queries per thousand billed milliseconds — at cfg.Batch queries
+// per round (DESIGN.md §13). It scores a small candidate set: the
+// latency-optimal plan at that batch size, a cost-minimizing run of the
+// same dynamic program (scoring each group by its billed-time proxy
+// instead of its latency), and the single-function Default. Ties on the
+// objective break toward lower latency. Because the latency-optimal plan
+// is always a candidate, the winner is never worse than it on the
+// objective; at batch 1 with a cheap Default, batching buys nothing and
+// the planner degrades gracefully to the cheapest feasible plan.
+func ThroughputOptimal(m *perf.Model, units []*partition.Unit, cfg Config) (*partition.Plan, perf.BatchPrediction, error) {
+	if err := validateInputs(m, units); err != nil {
+		return nil, perf.BatchPrediction{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	var cands []*partition.Plan
+	latPlan, _, err := LatencyOptimal(m, units, cfg)
+	if err != nil {
+		return nil, perf.BatchPrediction{}, err
+	}
+	cands = append(cands, latPlan)
+
+	// Cost-minimizing DP: same search space, scored by each group's billed
+	// time — worker durations rounded up to the billing granule plus the
+	// master-side latency the group adds to the master's own bill.
+	pc := newPredCache(m, units, cfg.Batch)
+	gran := float64(m.Platform().BillingGranMs)
+	costPlan, err := dpSearch(m, units, cfg, pc, func(p perf.GroupPrediction) float64 {
+		c := p.LatencyMs
+		for _, w := range p.WorkerMs {
+			if w > 0 {
+				c += math.Ceil(w/gran) * gran
+			}
+		}
+		return c
+	})
+	if err != nil {
+		return nil, perf.BatchPrediction{}, err
+	}
+	cands = append(cands, costPlan)
+
+	cands = append(cands, &partition.Plan{
+		Model: modelName(units),
+		Groups: []partition.GroupPlan{{
+			First: 0, Last: len(units) - 1,
+			Option:   partition.Option{Dim: partition.DimNone, Parts: 1},
+			OnMaster: true,
+		}},
+	})
+
+	var bestPlan *partition.Plan
+	var best perf.BatchPrediction
+	for _, plan := range cands {
+		bp, err := m.PredictPlanBatch(units, plan, cfg.Batch)
+		if err != nil || bp.OOM {
+			continue // e.g. Default for a model that outgrows one function
+		}
+		better := bestPlan == nil ||
+			bp.QueriesPer1KBilledMs > best.QueriesPer1KBilledMs ||
+			(bp.QueriesPer1KBilledMs == best.QueriesPer1KBilledMs && bp.LatencyMs < best.LatencyMs)
+		if better {
+			bestPlan, best = plan, bp
+		}
+	}
+	if bestPlan == nil {
+		return nil, perf.BatchPrediction{}, fmt.Errorf("core: no feasible throughput plan at batch %d", cfg.Batch)
+	}
+	return bestPlan, best, nil
+}

@@ -28,6 +28,14 @@ type Backend interface {
 	Prewarm() error
 }
 
+// BatchBackend is a Backend that can serve a whole batch of queries in one
+// fork-join round. Required when Config.Batch enables cross-query batching.
+type BatchBackend interface {
+	Backend
+	ServeBatch(proc *simnet.Proc, inputs []*tensor.Tensor, size int) (runtime.BatchResult, error)
+	ServeBatchTraced(proc *simnet.Proc, inputs []*tensor.Tensor, size int) (runtime.BatchResult, *trace.Trace, error)
+}
+
 // Switchable is a Backend with hot-swappable candidate plans
 // (runtime.Switcher). SwitchTo directives are only honoured on one.
 type Switchable interface {
@@ -45,8 +53,10 @@ type HedgeControl interface {
 // Statically assert the runtime types satisfy the gateway's interfaces.
 var (
 	_ Backend      = (*runtime.Deployment)(nil)
+	_ BatchBackend = (*runtime.Deployment)(nil)
 	_ HedgeControl = (*runtime.Deployment)(nil)
 	_ Switchable   = (*runtime.Switcher)(nil)
+	_ BatchBackend = (*runtime.Switcher)(nil)
 	_ HedgeControl = (*runtime.Switcher)(nil)
 )
 

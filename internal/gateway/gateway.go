@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"gillis/internal/batching"
 	"gillis/internal/platform"
 	"gillis/internal/runtime"
 	"gillis/internal/simnet"
@@ -61,6 +62,12 @@ type Config struct {
 	// brownout) are applied before autoscaling. Nil leaves the replay's
 	// platform actions exactly as without a controller.
 	Controller Controller
+	// Batch enables cross-query batching when Batch.MaxBatch >= 2: arrivals
+	// form batches that close on size, delay, SLO deadline, or trace drain,
+	// and each batch serves through the backend's ServeBatch on a single
+	// admission slot. Batch.TickMs and Batch.SLOMs default to the gateway's
+	// TickMs and SLOMs. MaxBatch <= 1 leaves the per-query path untouched.
+	Batch batching.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +108,11 @@ type Outcome struct {
 	Err string
 	// SLOOK reports the query was served successfully within Config.SLOMs.
 	SLOOK bool
+	// BatchSize is how many queries shared the serve this query rode in: 1
+	// on the per-query path, the batch's size in batched mode (including
+	// for members of a shed batch), and 0 for queries shed before serving
+	// on the per-query path.
+	BatchSize int
 	// FaultKind is the typed platform fault kind behind Err ("failure",
 	// "timeout", "evicted", "throttled"), "other" for untyped terminal
 	// errors, and empty for served or shed queries.
@@ -143,10 +155,24 @@ type gateway struct {
 	brownoutSheds int
 	planSwitches  int
 
+	// Batched-mode state (nil/zero when Config.Batch is off). arrived
+	// counts arrivals that entered the former, so the drain rule knows when
+	// no future query can top a batch up; waiters maps a forming member's
+	// query ID to the promise its process blocks on.
+	former       *batching.Former
+	bb           BatchBackend
+	waiters      map[int]*simnet.Promise[batchAssign]
+	arrived      int
+	batches      int
+	batchSizeSum int
+	batchClosed  map[string]int
+
 	mQueries, mAdmitted, mShed, mServed, mFaulted *trace.Counter
 	mSLOOK, mSLOViolated, mColdStarts             *trace.Counter
 	mPlanSwitches, mBrownouts, mBrownoutShed      *trace.Counter
+	mBatches                                      *trace.Counter
 	hQueueDepth, hQueueWaitMs, hTotalMs           *trace.Histogram
+	hBatchSize                                    *trace.Histogram
 }
 
 // Run replays the arrival trace (strictly increasing offsets, as produced
@@ -187,6 +213,10 @@ func Run(b Backend, arrivals []time.Duration, cfg Config) (*LoadReport, []Outcom
 		hTotalMs:      reg.Histogram("gateway.total_ms"),
 	}
 
+	if err := g.setupBatching(b, cfg); err != nil {
+		return nil, nil, err
+	}
+
 	billed0 := p.BilledMsTotal()
 	g.billed0 = billed0
 	prewarm0 := p.PrewarmBilledMs()
@@ -219,6 +249,10 @@ func Run(b Backend, arrivals []time.Duration, cfg Config) (*LoadReport, []Outcom
 // query admits one arrival: start immediately, wait in the FIFO queue, or
 // shed.
 func (g *gateway) query(proc *simnet.Proc, i int) {
+	if g.former != nil {
+		g.batchedQuery(proc, i)
+		return
+	}
 	arrivalMs := durMs(proc.Now())
 	g.mQueries.Inc()
 
@@ -321,6 +355,7 @@ func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
 	o.BilledMs = res.BilledMs
 	o.ColdStart = res.ColdStart
 	o.Output = res.Output
+	o.BatchSize = 1
 	o.SLOOK = g.cfg.SLOMs <= 0 || o.TotalMs <= g.cfg.SLOMs
 	g.mServed.Inc()
 	if res.ColdStart {
@@ -387,8 +422,10 @@ func (g *gateway) autoscale(proc *simnet.Proc) {
 			}
 			return
 		}
-		// The adaptive controller ticks first, so autoscaling targets the
-		// plan (and admission mode) its directive selects.
+		// Tick-driven batch closes fire first (the SLO rule budgets one
+		// tick of lead time), then the adaptive controller, so autoscaling
+		// targets the plan (and admission mode) its directive selects.
+		g.batchTick(proc)
 		g.controlTick(proc, obs)
 		if g.scaleErr != nil {
 			return

@@ -62,6 +62,14 @@ type LoadReport struct {
 	PlanSwitches  int     `json:"plan_switches,omitempty"`
 	BrownoutSheds int     `json:"brownout_sheds,omitempty"`
 	BrownoutMs    float64 `json:"brownout_ms,omitempty"`
+	// Batches counts closed batches in a batched replay (shed batches
+	// included); MeanBatch is the mean members per batch; BatchClosedBy
+	// partitions the closes by rule ("size", "slo", "delay", "drain"). All
+	// omitted on the per-query path, keeping unbatched reports
+	// byte-identical to before batching existed.
+	Batches       int            `json:"batches,omitempty"`
+	MeanBatch     float64        `json:"mean_batch,omitempty"`
+	BatchClosedBy map[string]int `json:"batch_closed_by,omitempty"`
 }
 
 // report builds the LoadReport from settled outcomes. The makespan comes
@@ -81,6 +89,14 @@ func (g *gateway) report(billedMs, prewarmMs int64) *LoadReport {
 	}
 	if g.cfg.Controller != nil {
 		rep.Controller = g.cfg.Controller.Name()
+	}
+	if g.batches > 0 {
+		rep.Batches = g.batches
+		rep.MeanBatch = round3(float64(g.batchSizeSum) / float64(g.batches))
+		rep.BatchClosedBy = make(map[string]int, len(g.batchClosed))
+		for k, n := range g.batchClosed {
+			rep.BatchClosedBy[k] = n
+		}
 	}
 	if len(g.faultKinds) > 0 {
 		rep.FaultsByKind = make(map[string]int, len(g.faultKinds))

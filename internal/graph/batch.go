@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"fmt"
+
+	"gillis/internal/nn"
+	"gillis/internal/tensor"
+)
+
+// ForwardBatch executes the graph once per query with cross-query batched
+// kernels: each node runs nn.ForwardBatch over the whole batch before the
+// walk advances, so batch-aware operators amortize their packing and weight
+// traffic across queries. The result is bitwise identical to calling
+// Forward once per input — the batched kernels run the exact per-element
+// accumulation schedules (see internal/nn/batch.go) and the observer is
+// notified once per (node, query), matching the sequential loop.
+func (g *Graph) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(g.nodes) == 0 {
+		return nil, fmt.Errorf("graph %q: empty", g.Name)
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	for _, x := range xs {
+		if !tensor.ShapeEqual(x.Shape(), g.inShape) {
+			return nil, fmt.Errorf("graph %q: input shape %v, want %v", g.Name, x.Shape(), g.inShape)
+		}
+	}
+	vals := make([][]*tensor.Tensor, len(g.nodes))
+	ins := make([][]*tensor.Tensor, len(xs))
+	for _, n := range g.nodes {
+		for e := range xs {
+			row := make([]*tensor.Tensor, len(n.Inputs))
+			for i, in := range n.Inputs {
+				if in == InputID {
+					row[i] = xs[e]
+				} else {
+					row[i] = vals[in][e]
+				}
+			}
+			ins[e] = row
+			nn.Observe(n.Op)
+		}
+		outs, err := nn.ForwardBatch(n.Op, ins)
+		if err != nil {
+			return nil, fmt.Errorf("graph %q node %d (%s): %w", g.Name, n.ID, n.Op.Name(), err)
+		}
+		vals[n.ID] = outs
+	}
+	return vals[g.OutputID()], nil
+}

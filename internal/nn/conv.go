@@ -163,41 +163,105 @@ func (c *Conv2D) forward(in []*tensor.Tensor, padH bool, epi *epilogue) (*tensor
 	// no reduction, so packing is deterministic at every parallelism level.
 	par.For(rows, pixels, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
-			ic := row / (k * k)
-			ky := (row / k) % k
-			kx := row % k
-			dst := cols[row*pixels : (row+1)*pixels]
-			for oy := 0; oy < oh; oy++ {
-				y := oy*c.Stride + ky - padTop
-				drow := dst[oy*ow : (oy+1)*ow]
-				if y < 0 || y >= h {
-					clear(drow)
-					continue
-				}
-				src := (ic*h + y) * w
-				if c.Stride == 1 {
-					// In-range columns satisfy 0 <= ox+kx-padL < w.
-					ox0 := max(padL-kx, 0)
-					ox1 := min(w-kx+padL, ow)
-					ox1 = max(ox1, ox0)
-					clear(drow[:ox0])
-					copy(drow[ox0:ox1], xd[src+ox0+kx-padL:src+ox1+kx-padL])
-					clear(drow[ox1:])
-					continue
-				}
-				for ox := 0; ox < ow; ox++ {
-					xcol := ox*c.Stride + kx - padL
-					if xcol < 0 || xcol >= w {
-						drow[ox] = 0
-					} else {
-						drow[ox] = xd[src+xcol]
-					}
-				}
-			}
+			c.packRow(xd, h, w, oh, ow, padTop, padL, row, cols[row*pixels:(row+1)*pixels])
 		}
 	})
 	gemmBias(c.OutC, pixels, rows, wd, cols, bd, od, epi)
 	return out, nil
+}
+
+// packRow writes one im2col B-panel row (a fixed (ic, ky, kx) triple swept
+// over the output pixels) into dst. Pure per-row writes — the unit both the
+// single-query and batched packers parallelize over.
+func (c *Conv2D) packRow(xd []float32, h, w, oh, ow, padTop, padL, row int, dst []float32) {
+	k := c.Kernel
+	ic := row / (k * k)
+	ky := (row / k) % k
+	kx := row % k
+	for oy := 0; oy < oh; oy++ {
+		y := oy*c.Stride + ky - padTop
+		drow := dst[oy*ow : (oy+1)*ow]
+		if y < 0 || y >= h {
+			clear(drow)
+			continue
+		}
+		src := (ic*h + y) * w
+		if c.Stride == 1 {
+			// In-range columns satisfy 0 <= ox+kx-padL < w.
+			ox0 := max(padL-kx, 0)
+			ox1 := min(w-kx+padL, ow)
+			ox1 = max(ox1, ox0)
+			clear(drow[:ox0])
+			copy(drow[ox0:ox1], xd[src+ox0+kx-padL:src+ox1+kx-padL])
+			clear(drow[ox1:])
+			continue
+		}
+		for ox := 0; ox < ow; ox++ {
+			xcol := ox*c.Stride + kx - padL
+			if xcol < 0 || xcol >= w {
+				drow[ox] = 0
+			} else {
+				drow[ox] = xd[src+xcol]
+			}
+		}
+	}
+}
+
+// ForwardBatch implements BatchForwarder: one im2col pack over batch×rows
+// panel rows into a single pooled scratch slab, then one batched GEMM. The
+// packed panel for each element is byte-identical to the single-query pack,
+// and gemmBiasBatch runs the identical per-band kernel bodies, so the
+// batched forward is bitwise equal to the per-query loop. Inputs must share
+// one shape (the dispatcher in batch.go falls back to the loop otherwise).
+func (c *Conv2D) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return c.forwardBatch(xs, nil)
+}
+
+func (c *Conv2D) forwardBatch(xs []*tensor.Tensor, epi *epilogue) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if !c.Initialized() {
+		return nil, fmt.Errorf("nn: Conv2D %q has no weights", c.OpName)
+	}
+	for _, x := range xs {
+		if x.Rank() != 3 || x.Dim(0) != c.InC {
+			return nil, fmt.Errorf("nn: Conv2D %q bad input %v", c.OpName, x.Shape())
+		}
+		if !tensor.ShapeEqual(x.Shape(), xs[0].Shape()) {
+			return nil, fmt.Errorf("nn: Conv2D %q batch mixes shapes %v and %v", c.OpName, xs[0].Shape(), x.Shape())
+		}
+	}
+	batch := len(xs)
+	h, w := xs[0].Dim(1), xs[0].Dim(2)
+	padTop, padL := c.Pad, c.Pad
+	oh := (h+2*padTop-c.Kernel)/c.Stride + 1
+	ow := (w+2*padL-c.Kernel)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: Conv2D %q empty output for input %v", c.OpName, xs[0].Shape())
+	}
+	k := c.Kernel
+	pixels := oh * ow
+	rows := c.InC * k * k
+	cbuf := par.GetF32(batch * rows * pixels)
+	defer par.PutF32(cbuf)
+	cols := *cbuf
+	outs := make([]*tensor.Tensor, batch)
+	bs := make([][]float32, batch)
+	ods := make([][]float32, batch)
+	for e := range xs {
+		outs[e] = tensor.New(c.OutC, oh, ow)
+		bs[e] = cols[e*rows*pixels : (e+1)*rows*pixels]
+		ods[e] = outs[e].Data()
+	}
+	par.For(batch*rows, pixels, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			e, row := idx/rows, idx%rows
+			c.packRow(xs[e].Data(), h, w, oh, ow, padTop, padL, row, bs[e][row*pixels:(row+1)*pixels])
+		}
+	})
+	gemmBiasBatch(batch, c.OutC, pixels, rows, c.W.Data(), bs, ods, c.B.Data(), epi)
+	return outs, nil
 }
 
 // OutChannels implements ChannelSliceable.

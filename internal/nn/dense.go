@@ -115,6 +115,34 @@ func (d *Dense) forwardRelu(x *tensor.Tensor, relu bool) (*tensor.Tensor, error)
 	return out, nil
 }
 
+// ForwardBatch implements BatchForwarder: one batched row-dot pass over all
+// inputs, bitwise identical to the per-query loop (see gemvBiasBatch).
+func (d *Dense) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return d.forwardReluBatch(xs, false)
+}
+
+func (d *Dense) forwardReluBatch(xs []*tensor.Tensor, relu bool) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if !d.Initialized() {
+		return nil, fmt.Errorf("nn: Dense %q has no weights", d.OpName)
+	}
+	outs := make([]*tensor.Tensor, len(xs))
+	ins := make([][]float32, len(xs))
+	ods := make([][]float32, len(xs))
+	for e, x := range xs {
+		if x.Rank() != 1 || x.Dim(0) != d.In {
+			return nil, fmt.Errorf("nn: Dense %q bad input %v", d.OpName, x.Shape())
+		}
+		outs[e] = tensor.New(d.Out)
+		ins[e] = x.Data()
+		ods[e] = outs[e].Data()
+	}
+	gemvBiasBatch(len(xs), d.Out, d.In, d.W.Data(), d.B.Data(), ins, ods, relu)
+	return outs, nil
+}
+
 // OutChannels implements ChannelSliceable.
 func (d *Dense) OutChannels() int { return d.Out }
 

@@ -91,6 +91,52 @@ func TestForwardBitwiseIdenticalAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestBatchedForwardBitwiseIdenticalAcrossParallelism extends the
+// parallelism-invariance pin to the batched ops: for every op with a batched
+// kernel, ForwardBatch over a batch of three must equal the serial per-query
+// loop bitwise at every parallelism level — the batch dimension only widens
+// the parallel index space, it never reorders an accumulation.
+func TestBatchedForwardBitwiseIdenticalAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const batch = 3
+	for _, tc := range detCases(t) {
+		if _, ok := tc.op.(BatchForwarder); !ok {
+			continue
+		}
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ins := make([][]*tensor.Tensor, batch)
+			for e := range ins {
+				ins[e] = []*tensor.Tensor{tensor.Rand(rng, 1, tc.in.Shape()...)}
+			}
+			restore := par.SetParallelism(1)
+			refs := make([]*tensor.Tensor, batch)
+			for e := range ins {
+				out, err := tc.op.Forward(ins[e][0])
+				if err != nil {
+					restore()
+					t.Fatal(err)
+				}
+				refs[e] = out
+			}
+			restore()
+			for _, p := range []int{1, 2, 3, 5, 8} {
+				restore := par.SetParallelism(p)
+				outs, err := ForwardBatch(tc.op, ins)
+				restore()
+				if err != nil {
+					t.Fatalf("p=%d: %v", p, err)
+				}
+				for e := range outs {
+					if !tensor.Equal(outs[e], refs[e]) {
+						t.Fatalf("p=%d element %d: batched output is not bitwise identical to serial per-query execution", p, e)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestForwardValidHBitwiseIdenticalAcrossParallelism covers the halo
 // execution path the spatial partitioner uses.
 func TestForwardValidHBitwiseIdenticalAcrossParallelism(t *testing.T) {

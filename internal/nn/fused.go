@@ -193,6 +193,13 @@ func (f *FusedConv2D) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	return f.Conv.forward(in, true, f.epi())
 }
 
+// ForwardBatch implements BatchForwarder: the batched conv pass with the
+// folded BatchNorm/ReLU epilogue applied to each element's finished rows,
+// bitwise identical to the per-query fused forward.
+func (f *FusedConv2D) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return f.Conv.forwardBatch(xs, f.epi())
+}
+
 // HKernel implements Spatial.
 func (f *FusedConv2D) HKernel() (k, s, p int) { return f.Conv.HKernel() }
 
@@ -282,6 +289,12 @@ func (f *FusedDense) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: FusedDense %q bad input %v", f.Name(), x.Shape())
 	}
 	return f.Dense.forwardRelu(x, true)
+}
+
+// ForwardBatch implements BatchForwarder with the ReLU fused into the
+// batched row-dot pass.
+func (f *FusedDense) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return f.Dense.forwardReluBatch(xs, true)
 }
 
 // OutChannels implements ChannelSliceable.

@@ -76,38 +76,62 @@ func (e *epilogue) apply(ch int, row []float32) {
 func gemmBias(m, n, k int, a, b, bias, out []float32, epi *epilogue) {
 	par.For((m+3)/4, 8*k*n, func(lo, hi int) {
 		for band := lo; band < hi; band++ {
-			i := band * 4
-			if i+4 <= m {
-				for r := i; r < i+4; r++ {
-					row := out[r*n : (r+1)*n]
-					bv := bias[r]
-					for j := range row {
-						row[j] = bv
-					}
-				}
-				gemmBand4(n, k,
-					a[i*k:(i+1)*k], a[(i+1)*k:(i+2)*k], a[(i+2)*k:(i+3)*k], a[(i+3)*k:(i+4)*k],
-					b,
-					out[i*n:(i+1)*n], out[(i+1)*n:(i+2)*n], out[(i+2)*n:(i+3)*n], out[(i+3)*n:(i+4)*n])
-			} else {
-				for r := i; r < m; r++ {
-					row := out[r*n : (r+1)*n]
-					ar := a[r*k : (r+1)*k]
-					bv := bias[r]
-					for j := range row {
-						s := bv
-						for p := 0; p < k; p++ {
-							s += ar[p] * b[p*n+j]
-						}
-						row[j] = s
-					}
-				}
-			}
-			for r := i; r < min(i+4, m); r++ {
-				epi.apply(r, out[r*n:(r+1)*n])
-			}
+			gemmBandAt(m, n, k, a, b, bias, out, epi, band)
 		}
 	})
+}
+
+// gemmBiasBatch runs gemmBias over a batch of B panels sharing one weight
+// matrix: out[e][m][n] = bias[i] + a[m][k]·bs[e][k][n]. The parallel index
+// space is batch×bands, and each (element, band) pair executes exactly the
+// per-band body of gemmBias — the same kernels, the same strict-k
+// accumulation order, the same blocking — so a batch of N is bitwise
+// identical to N sequential gemmBias calls at every parallelism level.
+func gemmBiasBatch(batch, m, n, k int, a []float32, bs, outs [][]float32, bias []float32, epi *epilogue) {
+	bands := (m + 3) / 4
+	par.For(batch*bands, 8*k*n, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			e, band := idx/bands, idx%bands
+			gemmBandAt(m, n, k, a, bs[e], bias, outs[e], epi, band)
+		}
+	})
+}
+
+// gemmBandAt is the per-band body shared by gemmBias and gemmBiasBatch:
+// rows [band*4, band*4+4) of one output panel, full rows initialized to
+// bias then accumulated by gemmBand4, m%4 tail rows by the strict-k scalar
+// loop, then the epilogue per finished row.
+func gemmBandAt(m, n, k int, a, b, bias, out []float32, epi *epilogue, band int) {
+	i := band * 4
+	if i+4 <= m {
+		for r := i; r < i+4; r++ {
+			row := out[r*n : (r+1)*n]
+			bv := bias[r]
+			for j := range row {
+				row[j] = bv
+			}
+		}
+		gemmBand4(n, k,
+			a[i*k:(i+1)*k], a[(i+1)*k:(i+2)*k], a[(i+2)*k:(i+3)*k], a[(i+3)*k:(i+4)*k],
+			b,
+			out[i*n:(i+1)*n], out[(i+1)*n:(i+2)*n], out[(i+2)*n:(i+3)*n], out[(i+3)*n:(i+4)*n])
+	} else {
+		for r := i; r < m; r++ {
+			row := out[r*n : (r+1)*n]
+			ar := a[r*k : (r+1)*k]
+			bv := bias[r]
+			for j := range row {
+				s := bv
+				for p := 0; p < k; p++ {
+					s += ar[p] * b[p*n+j]
+				}
+				row[j] = s
+			}
+		}
+	}
+	for r := i; r < min(i+4, m); r++ {
+		epi.apply(r, out[r*n:(r+1)*n])
+	}
 }
 
 // gemmBand4 accumulates four output rows c0..c3 (length n) with Nc/Kc cache
@@ -163,24 +187,46 @@ func mulAddPanel4x8Go(k int, a0, a1, a2, a3, b []float32, bstride int, c0, c1, c
 func gemvBias(m, k int, w, bias, x, out []float32, relu bool) {
 	par.For((m+3)/4, 8*k, func(lo, hi int) {
 		for band := lo; band < hi; band++ {
-			i := band * 4
-			if i+4 <= m {
-				copy(out[i:i+4], bias[i:i+4])
-				gemvBand4(k, w[i*k:], k, x, out[i:i+4])
-			} else {
-				for r := i; r < m; r++ {
-					out[r] = laneDotAcc(bias[r], w[r*k:(r+1)*k], x[:k])
-				}
-			}
-			if relu {
-				for r := i; r < min(i+4, m); r++ {
-					if out[r] < 0 {
-						out[r] = 0
-					}
-				}
-			}
+			gemvBandAt(m, k, w, bias, x, out, relu, band)
 		}
 	})
+}
+
+// gemvBiasBatch runs gemvBias over a batch of input vectors sharing one
+// weight matrix: outs[e][i] = bias[i] + w[i]·xs[e]. Like gemmBiasBatch, the
+// parallel index space is batch×bands and each pair runs the exact per-band
+// body of gemvBias, so batched output is bitwise identical to the
+// per-query loop.
+func gemvBiasBatch(batch, m, k int, w, bias []float32, xs, outs [][]float32, relu bool) {
+	bands := (m + 3) / 4
+	par.For(batch*bands, 8*k, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			e, band := idx/bands, idx%bands
+			gemvBandAt(m, k, w, bias, xs[e], outs[e], relu, band)
+		}
+	})
+}
+
+// gemvBandAt is the per-band body shared by gemvBias and gemvBiasBatch:
+// rows [band*4, band*4+4) of one output vector, full bands via gemvBand4,
+// m%4 tail rows via laneDotAcc, then the optional fused ReLU.
+func gemvBandAt(m, k int, w, bias, x, out []float32, relu bool, band int) {
+	i := band * 4
+	if i+4 <= m {
+		copy(out[i:i+4], bias[i:i+4])
+		gemvBand4(k, w[i*k:], k, x, out[i:i+4])
+	} else {
+		for r := i; r < m; r++ {
+			out[r] = laneDotAcc(bias[r], w[r*k:(r+1)*k], x[:k])
+		}
+	}
+	if relu {
+		for r := i; r < min(i+4, m); r++ {
+			if out[r] < 0 {
+				out[r] = 0
+			}
+		}
+	}
 }
 
 // gemvBand4 accumulates four row-dots into acc[0:4]: acc[r] += w[r·ldw:]·x

@@ -172,6 +172,85 @@ func (l *LSTM) Forward(in ...*tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// ForwardBatch implements BatchForwarder. The timestep recurrence stays
+// serial, but within each step the parallel index space becomes
+// batch×bands: every (element, band) pair runs exactly the per-element gate
+// band and state-update bodies of Forward against that element's own
+// state slab, so the batched sequence outputs are bitwise identical to the
+// per-query loop at every parallelism level. Inputs must share one shape
+// (the dispatcher in batch.go falls back to the loop otherwise).
+func (l *LSTM) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if !l.Initialized() {
+		return nil, fmt.Errorf("nn: LSTM %q has no weights", l.OpName)
+	}
+	for _, x := range xs {
+		if x.Rank() != 2 || x.Dim(1) != l.InSize {
+			return nil, fmt.Errorf("nn: LSTM %q bad input %v", l.OpName, x.Shape())
+		}
+		if x.Dim(0) != xs[0].Dim(0) {
+			return nil, fmt.Errorf("nn: LSTM %q batch mixes sequence lengths %d and %d", l.OpName, xs[0].Dim(0), x.Dim(0))
+		}
+	}
+	batch := len(xs)
+	steps := xs[0].Dim(0)
+	h := l.Hidden
+	wx, wh, bias := l.Wx.Data(), l.Wh.Data(), l.B.Data()
+
+	outs := make([]*tensor.Tensor, batch)
+	ods := make([][]float32, batch)
+	for e := range xs {
+		outs[e] = tensor.New(steps, h)
+		ods[e] = outs[e].Data()
+	}
+	// One scratch slab per kind, sliced per element; each element's state
+	// region is touched only through its own (element, band) indices.
+	hBuf, cBuf, gBuf := par.GetF32(batch*h), par.GetF32(batch*h), par.GetF32(batch*4*h)
+	defer par.PutF32(hBuf)
+	defer par.PutF32(cBuf)
+	defer par.PutF32(gBuf)
+	hAll, cAll, gAll := *hBuf, *cBuf, *gBuf
+	clear(hAll)
+	clear(cAll)
+	var t int
+	gateRows := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			e, band := idx/h, idx%h
+			xt := xs[e].Data()[t*l.InSize : (t+1)*l.InSize]
+			hState := hAll[e*h : (e+1)*h]
+			gates := gAll[e*4*h : (e+1)*4*h]
+			g := band * 4
+			copy(gates[g:g+4], bias[g:g+4])
+			gemvBand4(l.InSize, wx[g*l.InSize:], l.InSize, xt, gates[g:g+4])
+			gemvBand4(h, wh[g*h:], h, hState, gates[g:g+4])
+		}
+	}
+	stateUpdate := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			e, j := idx/h, idx%h
+			hState := hAll[e*h : (e+1)*h]
+			cState := cAll[e*h : (e+1)*h]
+			gates := gAll[e*4*h : (e+1)*4*h]
+			ig := sigmoid(gates[j])
+			fg := sigmoid(gates[h+j])
+			gg := float32(math.Tanh(float64(gates[2*h+j])))
+			og := sigmoid(gates[3*h+j])
+			cState[j] = fg*cState[j] + ig*gg
+			hState[j] = og * float32(math.Tanh(float64(cState[j])))
+		}
+	}
+	for t = 0; t < steps; t++ {
+		par.For(batch*h, 8*(l.InSize+h), gateRows)
+		par.For(batch*h, 64, stateUpdate)
+		for e := 0; e < batch; e++ {
+			copy(ods[e][t*h:(t+1)*h], hAll[e*h:(e+1)*h])
+		}
+	}
+	return outs, nil
+}
+
 func sigmoid(v float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(v))))
 }

@@ -314,6 +314,21 @@ func ForwardChain(units []*Unit, x *tensor.Tensor) (*tensor.Tensor, error) {
 	return cur, nil
 }
 
+// ForwardChainBatch runs units sequentially over a batch of inputs with
+// cross-query batched kernels (graph.ForwardBatch per unit). Bitwise
+// identical to calling ForwardChain once per input.
+func ForwardChainBatch(units []*Unit, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	cur := xs
+	for _, u := range units {
+		outs, err := u.Sub.ForwardBatch(cur)
+		if err != nil {
+			return nil, fmt.Errorf("partition: unit %d (%s): %w", u.Index, u.Name, err)
+		}
+		cur = outs
+	}
+	return cur, nil
+}
+
 // InitUnits materializes weights for every unit deterministically.
 func InitUnits(units []*Unit, seed int64) {
 	for _, u := range units {

@@ -231,21 +231,36 @@ type GroupPrediction struct {
 // (Algorithm 1's latency oracle for a given parallelization option and
 // master participation).
 func (m *Model) PredictGroup(units []*partition.Unit, gp partition.GroupPlan) (GroupPrediction, error) {
+	return m.predictGroupBatch(units, gp, 1)
+}
+
+// predictGroupBatch is PredictGroup with an explicit batch dimension:
+// compute and payload bytes scale with the batch, while the per-round
+// invocation overheads (request fan-out, EMG cold-path draws) are paid
+// once — the amortization cross-query batching buys. Every batch
+// scaling is a multiplication by float64(batch) or int64(batch), so
+// batch 1 reproduces the unbatched prediction bit-for-bit.
+func (m *Model) predictGroupBatch(units []*partition.Unit, gp partition.GroupPlan, batch int) (GroupPrediction, error) {
+	if batch < 1 {
+		return GroupPrediction{}, fmt.Errorf("perf: batch must be positive, got %d", batch)
+	}
+	bf, bi := float64(batch), int64(batch)
 	ext, err := partition.GroupExtent(units, gp.First, gp.Last, gp.Option)
 	if err != nil {
 		return GroupPrediction{}, err
 	}
 	var pred GroupPrediction
 	budget := int64(m.cfg.WeightBudgetMB) * 1e6
-	if ext.WeightBytes+ext.ActBytes > budget {
+	if ext.WeightBytes+ext.ActBytes*bi > budget {
 		pred.OOM = true
 		pred.OOMReason = fmt.Sprintf("partition weights+activations %d MB exceed budget %d MB",
-			(ext.WeightBytes+ext.ActBytes)/1e6, budget/1e6)
+			(ext.WeightBytes+ext.ActBytes*bi)/1e6, budget/1e6)
 	}
 	baseMs, err := m.GroupComputeMs(units, gp.First, gp.Last)
 	if err != nil {
 		return GroupPrediction{}, err
 	}
+	baseMs *= bf
 	groupFLOPs := int64(0)
 	for _, u := range units[gp.First : gp.Last+1] {
 		groupFLOPs += u.FLOPs
@@ -262,9 +277,9 @@ func (m *Model) PredictGroup(units []*partition.Unit, gp partition.GroupPlan) (G
 			pred.LatencyMs = baseMs
 			return pred, nil
 		}
-		up := m.cfg.RequestOverheadMs + m.TransferMs(ext.InBytesTotal)
+		up := m.cfg.RequestOverheadMs + m.TransferMs(ext.InBytesTotal*bi)
 		over := m.MaxCommMs(1)
-		down := m.TransferMs(ext.OutBytesTotal)
+		down := m.TransferMs(ext.OutBytesTotal * bi)
 		pred.UploadMs, pred.OverheadMs, pred.DownloadMs = up, over, down
 		pred.WorkerMs = []float64{baseMs}
 		pred.LatencyMs = up + over + baseMs + down
@@ -308,9 +323,9 @@ func (m *Model) PredictGroup(units []*partition.Unit, gp partition.GroupPlan) (G
 	offsets := make([]float64, 0, len(workerParts))
 	comps := make([]float64, 0, len(workerParts))
 	for _, wp := range workerParts {
-		upTotal += m.cfg.RequestOverheadMs + m.TransferMs(wp.in)
+		upTotal += m.cfg.RequestOverheadMs + m.TransferMs(wp.in*bi)
 		offsets = append(offsets, upTotal) // upload prefix: when this worker's request is out
-		d := m.TransferMs(wp.out)
+		d := m.TransferMs(wp.out * bi)
 		downTotal += d
 		if d > maxPartDown {
 			maxPartDown = d
@@ -342,7 +357,7 @@ func (m *Model) PredictGroup(units []*partition.Unit, gp partition.GroupPlan) (G
 	}
 	// Reassembly (memory-bandwidth bound concatenation).
 	if m.cfg.MemGBps > 0 {
-		pred.LatencyMs += float64(ext.OutBytesTotal) / 1e9 / m.cfg.MemGBps * 1000
+		pred.LatencyMs += float64(ext.OutBytesTotal*bi) / 1e9 / m.cfg.MemGBps * 1000
 	}
 	return pred, nil
 }
@@ -363,6 +378,16 @@ type PlanPrediction struct {
 // PredictPlan estimates latency and cost of a full plan, checking both the
 // per-worker and the cumulative master memory budgets.
 func (m *Model) PredictPlan(units []*partition.Unit, plan *partition.Plan) (PlanPrediction, error) {
+	bp, err := m.PredictPlanBatch(units, plan, 1)
+	if err != nil {
+		return PlanPrediction{}, err
+	}
+	return bp.PlanPrediction, nil
+}
+
+// predictPlanBatch estimates a full plan serving batches of the given size
+// in every fork-join round.
+func (m *Model) predictPlanBatch(units []*partition.Unit, plan *partition.Plan, batch int) (PlanPrediction, error) {
 	if err := plan.Validate(units); err != nil {
 		return PlanPrediction{}, err
 	}
@@ -370,7 +395,7 @@ func (m *Model) PredictPlan(units []*partition.Unit, plan *partition.Plan) (Plan
 	budget := int64(m.cfg.WeightBudgetMB) * 1e6
 	var masterBytes int64
 	for _, gp := range plan.Groups {
-		pred, err := m.PredictGroup(units, gp)
+		pred, err := m.predictGroupBatch(units, gp, batch)
 		if err != nil {
 			return PlanPrediction{}, err
 		}

@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"gillis/internal/partition"
+	"gillis/internal/platform"
+	"gillis/internal/simnet"
+	"gillis/internal/tensor"
+)
+
+// TestServeBatchRealMatchesSequential pins the batched fork-join contract:
+// a batch of N through a mixed plan (channel, spatial+master, master-local
+// groups) yields exactly the N outputs of sequential Serve calls, and the
+// per-batch accounting is sane.
+func TestServeBatchRealMatchesSequential(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	rng := rand.New(rand.NewSource(7))
+	const batch = 4
+	xs := make([]*tensor.Tensor, batch)
+	want := make([]*tensor.Tensor, batch)
+	for e := range xs {
+		xs[e] = tensor.Rand(rng, 1, 3, 24, 24)
+		out, err := partition.ForwardChain(units, xs[e])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[e] = out
+	}
+	runClient(t, platform.AWSLambda(), 1, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := d.ServeBatch(proc, xs, batch)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Size != batch || len(res.Outputs) != batch {
+			t.Errorf("batch result size %d outputs %d", res.Size, len(res.Outputs))
+			return
+		}
+		for e := range res.Outputs {
+			if !tensor.Equal(res.Outputs[e], want[e]) {
+				t.Errorf("batched output %d must match monolithic execution bitwise", e)
+			}
+		}
+		if res.LatencyMs <= 0 || res.BilledMs <= 0 {
+			t.Errorf("bad accounting: %+v", res)
+		}
+		if res.ColdStart {
+			t.Error("prewarmed master should warm-start")
+		}
+		if len(res.GroupMs) != len(plan.Groups) {
+			t.Errorf("got %d group timings, want %d", len(res.GroupMs), len(plan.Groups))
+		}
+	})
+}
+
+// TestServeBatchShapeOnlyScalesWithSize pins the modeled-cost side: a
+// ShapeOnly batch of 8 must cost more billed time than a single query but
+// far less than 8 sequential queries' latency (overheads amortize), and a
+// batch reduces per-query latency cost versus sequential serving.
+func TestServeBatchShapeOnlyScalesWithSize(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	var single, batched float64
+	runClient(t, platform.AWSLambda(), 1, func(p *platform.Platform, proc *simnet.Proc) {
+		d, err := Deploy(p, units, plan, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := d.Prewarm(); err != nil {
+			t.Error(err)
+			return
+		}
+		res1, err := d.ServeBatch(proc, nil, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res8, err := d.ServeBatch(proc, nil, 8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		single, batched = res1.LatencyMs, res8.LatencyMs
+	})
+	if batched <= single {
+		t.Fatalf("batch of 8 latency %.3f should exceed single %.3f", batched, single)
+	}
+	if batched >= 8*single {
+		t.Fatalf("batch of 8 latency %.3f should amortize below 8x single %.3f", batched, single)
+	}
+}
+
+// TestServeBatchValidation pins the argument contract.
+func TestServeBatchValidation(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	runClient(t, platform.AWSLambda(), 1, func(p *platform.Platform, proc *simnet.Proc) {
+		dReal, err := Deploy(p, units, plan, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dShape, err := Deploy(p, units, plan, ShapeOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := dReal.ServeBatch(proc, nil, 2); err == nil {
+			t.Error("Real batch without inputs should fail")
+		}
+		x := tensor.Rand(rand.New(rand.NewSource(1)), 1, 3, 24, 24)
+		if _, err := dReal.ServeBatch(proc, []*tensor.Tensor{x}, 2); err == nil {
+			t.Error("size/inputs mismatch should fail")
+		}
+		if _, err := dShape.ServeBatch(proc, nil, 0); err == nil {
+			t.Error("non-positive ShapeOnly size should fail")
+		}
+	})
+}
+
+// TestSwitcherServeBatchDelegates pins batched delegation to the active
+// deployment.
+func TestSwitcherServeBatchDelegates(t *testing.T) {
+	units := tinyCNN(t)
+	plan := mixedPlan(t, units)
+	rng := rand.New(rand.NewSource(11))
+	xs := []*tensor.Tensor{
+		tensor.Rand(rng, 1, 3, 24, 24),
+		tensor.Rand(rng, 1, 3, 24, 24),
+	}
+	want := make([]*tensor.Tensor, len(xs))
+	for e, x := range xs {
+		out, err := partition.ForwardChain(units, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[e] = out
+	}
+	runClient(t, platform.AWSLambda(), 1, func(p *platform.Platform, proc *simnet.Proc) {
+		dPlan, err := Deploy(p, units, plan, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dDef, err := DeployDefault(p, units, Real)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sw, err := NewSwitcher(dPlan, dDef)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sw.Switch(1); err != nil {
+			t.Error(err)
+			return
+		}
+		res, tr, err := sw.ServeBatchTraced(proc, xs, len(xs))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for e := range res.Outputs {
+			if !tensor.Equal(res.Outputs[e], want[e]) {
+				t.Errorf("switched batched output %d diverged", e)
+			}
+		}
+		if tr == nil {
+			t.Error("traced batch should return a trace")
+		}
+	})
+}

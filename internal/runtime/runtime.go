@@ -361,8 +361,13 @@ func observeOps(sp *trace.Span) (restore func()) {
 	return nn.SetObserver(func(op nn.Op) { sp.Event("op:" + op.Name()) })
 }
 
-// masterHandler orchestrates the fork-join rounds (Fig. 4).
+// masterHandler orchestrates the fork-join rounds (Fig. 4). Batched
+// invocations (a *batchReq body) take the batched round path; single-query
+// payloads are untouched.
 func (d *Deployment) masterHandler(ctx *platform.Ctx, payload platform.Payload) (platform.Payload, error) {
+	if br, ok := payload.Data.(*batchReq); ok {
+		return d.masterHandlerBatch(ctx, br)
+	}
 	var cur *tensor.Tensor
 	if d.mode == Real {
 		var ok bool
@@ -507,6 +512,9 @@ func (d *Deployment) runGroup(ctx *platform.Ctx, gi int, gr *groupRuntime, in *t
 
 // workerHandler computes one partition of one group.
 func (d *Deployment) workerHandler(ctx *platform.Ctx, gi, part int, payload platform.Payload) (platform.Payload, error) {
+	if br, ok := payload.Data.(*batchReq); ok {
+		return d.workerHandlerBatch(ctx, gi, part, br)
+	}
 	gr := d.groups[gi]
 	if gr.gp.Option.Dim == partition.DimNone {
 		d.computeScaled(ctx, gr, 1.0)

@@ -105,6 +105,16 @@ func (s *Switcher) ServeTraced(proc *simnet.Proc, input *tensor.Tensor) (Result,
 	return s.current().ServeTraced(proc, input)
 }
 
+// ServeBatch executes one batch on the active deployment.
+func (s *Switcher) ServeBatch(proc *simnet.Proc, inputs []*tensor.Tensor, size int) (BatchResult, error) {
+	return s.current().ServeBatch(proc, inputs, size)
+}
+
+// ServeBatchTraced executes one traced batch on the active deployment.
+func (s *Switcher) ServeBatchTraced(proc *simnet.Proc, inputs []*tensor.Tensor, size int) (BatchResult, *trace.Trace, error) {
+	return s.current().ServeBatchTraced(proc, inputs, size)
+}
+
 // WarmSets reports the active deployment's standing warm sets.
 func (s *Switcher) WarmSets() int { return s.current().WarmSets() }
 

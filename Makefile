@@ -14,8 +14,12 @@ RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform
 ci: lint build test race chaos
 
 # lint fails on any unformatted file, then runs go vet and the project's
-# own analyzers (determinism, map-order, nil-safety, float-accumulation,
-# dropped-error invariants — see DESIGN.md §9).
+# own analyzers: the intra-procedural suite (determinism, map-order,
+# nil-safety, float-accumulation, dropped-error invariants) plus the
+# inter-procedural call-graph analyzers (clockflow, goleak, sharedmut) —
+# see DESIGN.md §9. CI sets VET_FLAGS=-github so findings land as inline
+# ::error annotations on the pull request.
+VET_FLAGS ?=
 lint:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
@@ -24,7 +28,7 @@ lint:
 		exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/gillis-vet ./...
+	$(GO) run ./cmd/gillis-vet $(VET_FLAGS) ./...
 
 vet:
 	$(GO) vet ./...

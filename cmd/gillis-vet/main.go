@@ -1,23 +1,30 @@
 // Command gillis-vet runs the project's custom static-analysis suite over
 // the repository: the determinism, ordering, nil-safety, and error-handling
-// invariants the golden-trace and chaos tests can only catch dynamically.
+// invariants the golden-trace and chaos tests can only catch dynamically,
+// plus the inter-procedural call-graph analyzers (clockflow, goleak,
+// sharedmut) that track violations across function and package boundaries.
 //
 // Usage:
 //
-//	gillis-vet [-list] [packages...]
+//	gillis-vet [-list] [-json] [-github] [packages...]
 //
 // Packages are directory patterns ("./...", "./internal/trace"); the
 // default is "./...". Exit status is 1 when any diagnostic is reported.
-// Findings are suppressed per line with a justified
-// `//gillis:allow <analyzer> <reason>` comment.
+// -json emits machine-readable diagnostics (file, line, column, analyzer,
+// message, call chain) instead of the human format; -github additionally
+// emits GitHub Actions ::error workflow annotations so CI findings land
+// inline on the pull request. Findings are suppressed per line with a
+// justified `//gillis:allow <analyzer>[,<analyzer>...] <reason>` comment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"gillis/internal/analysis"
 )
@@ -31,12 +38,24 @@ func main() {
 	os.Exit(code)
 }
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
 // run executes the suite and returns the process exit code: 0 clean, 1 when
 // diagnostics were reported.
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("gillis-vet", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations alongside diagnostics")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -57,15 +76,58 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	diags := analysis.Run(pkgs, analyzers)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil {
+			return r
 		}
-		fmt.Fprintln(stdout, d.String())
+		return name
+	}
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = rel(d.Pos.Filename)
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			msg := d.Analyzer + ": " + d.Message
+			if len(d.Chain) > 0 {
+				msg += " [" + strings.Join(d.Chain, " -> ") + "]"
+			}
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s\n",
+				rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, annotationEscape(msg))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stdout, "gillis-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "gillis-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// annotationEscape applies GitHub Actions workflow-command data escaping.
+func annotationEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

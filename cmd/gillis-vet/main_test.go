@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"nodeterm", "maporder", "niltrace", "floatacc", "errdrop"} {
+	for _, name := range []string{"nodeterm", "maporder", "niltrace", "floatacc", "errdrop", "clockflow", "goleak", "sharedmut"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -51,6 +52,78 @@ func TestSeededViolation(t *testing.T) {
 	}
 	if !strings.Contains(out, "finding(s)") {
 		t.Fatalf("missing findings summary:\n%s", out)
+	}
+}
+
+// TestSeededTransitiveViolation drives the inter-procedural acceptance
+// criterion end to end: a clocked fixture package reaching time.Now
+// exactly two call hops and one package boundary away must fail with a
+// clockflow diagnostic carrying the full call chain.
+func TestSeededTransitiveViolation(t *testing.T) {
+	out, code := runVet(t,
+		"../../internal/analysis/testdata/src/gillis/internal/runtime",
+		"../../internal/analysis/testdata/src/gillis/internal/stats")
+	if code != 1 {
+		t.Fatalf("exit %d on violating packages, want 1; output:\n%s", code, out)
+	}
+	want := "replay.go:21:15: clockflow: call to gillis/internal/stats.Jitter transitively reaches nondeterministic time.Now (2 hop(s) away); gillis/internal/runtime is simnet-clocked (derive it from the Env clock or a seeded *rand.Rand) [gillis/internal/runtime.Replay -> gillis/internal/stats.Jitter -> gillis/internal/stats.wallNanos -> time.Now]"
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing two-hop clockflow diagnostic with call chain:\nwant substring: %s\ngot:\n%s", want, out)
+	}
+}
+
+// TestJSONOutput checks the machine-readable form: parseable, positioned,
+// and carrying the call chain for inter-procedural findings.
+func TestJSONOutput(t *testing.T) {
+	out, code := runVet(t, "-json",
+		"../../internal/analysis/testdata/src/gillis/internal/runtime",
+		"../../internal/analysis/testdata/src/gillis/internal/stats")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	var diags []struct {
+		File     string   `json:"file"`
+		Line     int      `json:"line"`
+		Col      int      `json:"col"`
+		Analyzer string   `json:"analyzer"`
+		Message  string   `json:"message"`
+		Chain    []string `json:"chain"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced no diagnostics")
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "clockflow" && d.Line == 21 {
+			found = true
+			if len(d.Chain) != 4 || d.Chain[len(d.Chain)-1] != "time.Now" {
+				t.Errorf("clockflow chain = %v, want 4 elements ending in time.Now", d.Chain)
+			}
+			if !strings.HasSuffix(d.File, "replay.go") {
+				t.Errorf("file = %q, want replay.go", d.File)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no clockflow diagnostic at line 21 in -json output:\n%s", out)
+	}
+	if strings.Contains(out, "finding(s)") {
+		t.Errorf("-json output must not carry the human summary:\n%s", out)
+	}
+}
+
+// TestGitHubAnnotations checks -github emits workflow ::error commands.
+func TestGitHubAnnotations(t *testing.T) {
+	out, code := runVet(t, "-github",
+		"../../internal/analysis/testdata/src/gillis/internal/platform")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "::error file=") || !strings.Contains(out, "line=14,col=11::nodeterm:") {
+		t.Fatalf("missing ::error annotation:\n%s", out)
 	}
 }
 

@@ -11,11 +11,13 @@
 //
 // Suppression: a finding is silenced by a comment
 //
-//	//gillis:allow <analyzer> <one-line justification>
+//	//gillis:allow <analyzer>[,<analyzer>...] <one-line justification>
 //
 // placed on the flagged line or on the line directly above it. The
-// justification is mandatory by convention (the analyzers cannot judge
-// prose, but reviewers can).
+// analyzer field accepts a comma-separated list so one comment can justify
+// findings from several analyzers (a deliberately unjoined goroutine often
+// trips goleak and sharedmut together). The justification is mandatory by
+// convention (the analyzers cannot judge prose, but reviewers can).
 package analysis
 
 import (
@@ -34,6 +36,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// NeedsGraph asks Run to build the module-wide call graph before any
+	// pass executes; graph construction is shared across analyzers.
+	NeedsGraph bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -49,16 +54,28 @@ type Pass struct {
 	// "testdata/src/" so analyzers see realistic paths in tests.
 	Pkg  *types.Package
 	Info *types.Info
+	// Graph is the module-wide static call graph over the Load universe,
+	// built once per Run and shared by every pass. Inter-procedural
+	// analyzers (clockflow) traverse it; intra-procedural analyzers ignore
+	// it.
+	Graph *CallGraph
 
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain records a finding at pos carrying a call chain (caller
+// first, sink last) that explains how the violation is reached.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -67,11 +84,19 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Chain, when non-empty, is the call chain from the flagged function
+	// to the violation sink, rendered caller → ... → sink.
+	Chain []string
 }
 
-// String renders the canonical "file:line:col: analyzer: message" form.
+// String renders the canonical "file:line:col: analyzer: message" form,
+// with the call chain appended when present.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if len(d.Chain) > 0 {
+		s += " [" + strings.Join(d.Chain, " -> ") + "]"
+	}
+	return s
 }
 
 // allowDirective is the magic comment prefix recognized for suppression.
@@ -81,6 +106,13 @@ const allowDirective = "//gillis:allow "
 // //gillis:allow comments, and returns the remainder in deterministic order
 // (file, line, column, analyzer, message).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.NeedsGraph {
+			graph = BuildCallGraph(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allowed := allowLines(pkg)
@@ -91,6 +123,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Graph:    graph,
 				diags:    new([]Diagnostic),
 			}
 			a.Run(pass)
@@ -130,7 +163,9 @@ type allowKey struct {
 }
 
 // allowLines collects every //gillis:allow directive in the package, keyed
-// by the line the comment sits on.
+// by the line the comment sits on. The analyzer field is a comma-separated
+// list, so `//gillis:allow clockflow,goleak <reason>` registers one
+// suppression per named analyzer.
 func allowLines(pkg *Package) map[allowKey]bool {
 	allowed := make(map[allowKey]bool)
 	for _, f := range pkg.Files {
@@ -145,7 +180,12 @@ func allowLines(pkg *Package) map[allowKey]bool {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				allowed[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						continue
+					}
+					allowed[allowKey{pos.Filename, pos.Line, name}] = true
+				}
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -26,7 +28,7 @@ func TestRunDeterministicOrder(t *testing.T) {
 		t.Fatalf("analyzer order changed finding count: %d vs %d", len(forward), len(reversed))
 	}
 	for i := range forward {
-		if forward[i] != reversed[i] {
+		if forward[i].String() != reversed[i].String() {
 			t.Fatalf("diagnostic %d differs across analyzer orderings:\n%s\n%s", i, forward[i], reversed[i])
 		}
 	}
@@ -61,6 +63,65 @@ func TestSuppression(t *testing.T) {
 	}
 	if suppressed(allowed, mk(10, "nodeterm")) != true || suppressed(allowed, Diagnostic{Analyzer: "nodeterm", Pos: token.Position{Filename: "g.go", Line: 10}}) {
 		t.Error("allow crossed files")
+	}
+}
+
+// TestAllowListDirective pins the comma-separated form: one directive can
+// sanction several analyzers at once, without leaking to unnamed ones.
+func TestAllowListDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+//gillis:allow clockflow,goleak detached supervisor is joined by the scheduler
+var a = 1
+
+//gillis:allow nodeterm bench probe
+var b = 2
+
+//gillis:allow , a bare comma names nothing
+var c = 3
+`
+	f, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := allowLines(&Package{Fset: fset, Files: []*ast.File{f}})
+	for _, tc := range []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "clockflow", true},
+		{3, "goleak", true},
+		{3, "sharedmut", false}, // list membership is exact
+		{6, "nodeterm", true},   // single-name form unchanged
+		{6, "clockflow", false},
+		{9, "", false}, // empty names are dropped, not registered
+	} {
+		if got := allowed[allowKey{"f.go", tc.line, tc.analyzer}]; got != tc.want {
+			t.Errorf("allow at line %d for %q = %v, want %v", tc.line, tc.analyzer, got, tc.want)
+		}
+	}
+}
+
+// TestLoadTypecheckFailureReadable checks the loader degrades a broken
+// package to a positioned, readable error instead of handing the analyzers
+// a half-checked package (where missing type info panics far from the
+// cause).
+func TestLoadTypecheckFailureReadable(t *testing.T) {
+	dir := writeTestPkg(t, "badtypes-*", map[string]string{
+		"bad.go": "package p\n\nfunc f() int { return undefinedIdent }\n",
+	})
+	_, err := Load(dir)
+	if err == nil {
+		t.Fatal("expected a typecheck error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "typecheck") {
+		t.Errorf("error does not name the failing stage: %v", err)
+	}
+	if !strings.Contains(msg, "bad.go") || !strings.Contains(msg, "undefinedIdent") {
+		t.Errorf("error lacks position or cause: %v", err)
 	}
 }
 
@@ -114,7 +175,7 @@ func TestAllStable(t *testing.T) {
 			t.Errorf("analyzer %s missing doc or run", a.Name)
 		}
 	}
-	if got, want := strings.Join(names, ","), "errdrop,floatacc,maporder,niltrace,nodeterm"; got != want {
+	if got, want := strings.Join(names, ","), "clockflow,errdrop,floatacc,goleak,maporder,niltrace,nodeterm,sharedmut"; got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
 	}
 }

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds gillis-vet's module-wide static call graph, the shared
+// substrate under the inter-procedural analyzers (clockflow today; any
+// future reachability-style check). Construction rules:
+//
+//   - One node per function or method *declaration* in the loaded universe
+//     (patterns plus transitive module-internal imports), keyed by the
+//     types.Func FullName — "pkg.F", "(pkg.T).M", "(*pkg.T).M". One
+//     synthetic "<pkg>.init" node per package collects package-level
+//     variable initializer expressions.
+//   - Static dispatch is resolved exactly: every identifier use that
+//     resolves to a module-declared *types.Func adds an edge from the
+//     enclosing declaration. Because *references* count, not just call
+//     expressions, function values passed as arguments or assigned to
+//     locals are tracked through assignment for free: `f := stats.Jitter;
+//     f()` contributes the stats.Jitter edge at the assignment.
+//   - Interface calls are approximated by method-set matching: a call
+//     through interface method I.M adds edges to T.M for every named type
+//     T in the universe where T or *T implements I. This over-approximates
+//     (no pointer analysis), which is the sound direction for taint.
+//   - Code inside function literals is attributed to the enclosing
+//     declaration: a closure's calls happen on behalf of whoever defined
+//     it. This also over-approximates (the closure may run elsewhere).
+//
+// Banned ambient-nondeterminism sources (the nodeterm table) are recorded
+// per node as direct uses, with the //gillis:allow state of the source
+// line, so taint analyzers can honour justified wall-clock reads like
+// bench/kernels.go's microbenchmark loop.
+
+// A CallGraph is the module-wide static call graph over one Load universe.
+type CallGraph struct {
+	// Nodes is keyed by the node ID (types.Func FullName or "<pkg>.init").
+	Nodes map[string]*CallNode
+}
+
+// A CallNode is one declared function, method, or synthetic package init.
+type CallNode struct {
+	// ID is the graph key and the display name used in rendered chains.
+	ID string
+	// Pkg is the defining package's import path.
+	Pkg string
+	// Pos is the declaration position.
+	Pos token.Pos
+	// Calls are the outgoing edges, deduplicated per callee (earliest
+	// reference wins) and sorted by position for deterministic traversal.
+	Calls []CallEdge
+	// Banned are direct uses of ambient-nondeterminism entry points.
+	Banned []BannedUse
+}
+
+// A CallEdge is one resolved reference from a node to another node.
+type CallEdge struct {
+	// Callee is the target node's ID.
+	Callee string
+	// Pos is the reference site in the caller.
+	Pos token.Pos
+	// Interface marks an edge added by interface method-set approximation
+	// rather than exact static resolution.
+	Interface bool
+}
+
+// A BannedUse is one direct use of a banned nondeterminism source
+// (time.Now, global math/rand draws, os.Getenv — the nodeterm table).
+type BannedUse struct {
+	// Pkg and Name identify the source, e.g. "time" and "Now".
+	Pkg, Name string
+	// Pos is the use site.
+	Pos token.Pos
+	// Allowed records whether the use site carries a //gillis:allow
+	// suppression for nodeterm or clockflow: a justified wall-clock read
+	// is not a taint source.
+	Allowed bool
+}
+
+// Node returns the node for id, or nil.
+func (g *CallGraph) Node(id string) *CallNode { return g.Nodes[id] }
+
+// PkgNodes returns the nodes declared in the package with the given import
+// path, sorted by declaration position.
+func (g *CallGraph) PkgNodes(path string) []*CallNode {
+	var nodes []*CallNode
+	for _, n := range g.Nodes {
+		if n.Pkg == path {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos < nodes[j].Pos })
+	return nodes
+}
+
+// BuildCallGraph constructs the call graph over the full universe of the
+// given packages (each Load result carries the same universe).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	universe := pkgs
+	if len(pkgs) > 0 && pkgs[0].universe != nil {
+		universe = pkgs[0].universe
+	}
+	g := &CallGraph{Nodes: make(map[string]*CallNode)}
+
+	// Pass 1: nodes for every declaration, and the named types available
+	// for interface method-set matching.
+	type declKey struct {
+		pkg  *Package
+		file *ast.File
+		decl *ast.FuncDecl
+	}
+	var decls []declKey
+	var named []*types.Named
+	for _, pkg := range universe {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if n, ok := tn.Type().(*types.Named); ok {
+					named = append(named, n)
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				id := obj.FullName()
+				g.Nodes[id] = &CallNode{ID: id, Pkg: pkg.Path, Pos: fd.Pos()}
+				decls = append(decls, declKey{pkg, f, fd})
+			}
+		}
+	}
+
+	// Pass 2: edges and banned uses, attributed to the enclosing
+	// declaration (or the synthetic init node for package-level variable
+	// initializers).
+	for _, pkg := range universe {
+		allowed := allowLines(pkg)
+		initID := pkg.Path + ".init"
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok || d.Body == nil {
+						continue
+					}
+					collectRefs(g, g.Nodes[obj.FullName()], pkg, named, allowed, d.Body)
+				case *ast.GenDecl:
+					if d.Tok != token.VAR {
+						continue
+					}
+					node := g.Nodes[initID]
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || len(vs.Values) == 0 {
+							continue
+						}
+						if node == nil {
+							node = &CallNode{ID: initID, Pkg: pkg.Path, Pos: d.Pos()}
+							g.Nodes[initID] = node
+						}
+						for _, v := range vs.Values {
+							collectRefs(g, node, pkg, named, allowed, v)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		sortEdges(n)
+	}
+	return g
+}
+
+// collectRefs walks body and records, on node, every resolved reference to
+// a universe function and every direct banned-source use.
+func collectRefs(g *CallGraph, node *CallNode, pkg *Package, named []*types.Named, allowed map[allowKey]bool, body ast.Node) {
+	info := pkg.Info
+	seen := make(map[string]bool)
+	for _, e := range node.Calls {
+		seen[e.Callee] = true
+	}
+	addEdge := func(id string, pos token.Pos, iface bool) {
+		if id == node.ID || seen[id] {
+			return
+		}
+		if _, ok := g.Nodes[id]; !ok {
+			return
+		}
+		seen[id] = true
+		node.Calls = append(node.Calls, CallEdge{Callee: id, Pos: pos, Interface: iface})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Banned ambient sources read through a package qualifier.
+			path := pkgNameOf(info, n)
+			if banned, ok := nodetermBanned[path]; ok && banned[n.Sel.Name] {
+				pos := pkg.Fset.Position(n.Pos())
+				node.Banned = append(node.Banned, BannedUse{
+					Pkg:  path,
+					Name: n.Sel.Name,
+					Pos:  n.Pos(),
+					Allowed: allowed[allowKey{pos.Filename, pos.Line, "clockflow"}] ||
+						allowed[allowKey{pos.Filename, pos.Line - 1, "clockflow"}] ||
+						allowed[allowKey{pos.Filename, pos.Line, "nodeterm"}] ||
+						allowed[allowKey{pos.Filename, pos.Line - 1, "nodeterm"}],
+				})
+			}
+		case *ast.Ident:
+			fn, ok := info.Uses[n].(*types.Func)
+			if !ok {
+				return true
+			}
+			// Instantiated generic functions and methods map back to their
+			// generic declaration: the graph has one node per declaration,
+			// not per instantiation.
+			fn = fn.Origin()
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface dispatch: edge to every concrete method in the
+				// universe whose receiver type satisfies the interface.
+				for _, id := range implementers(named, recv.Type(), fn.Name()) {
+					addEdge(id, n.Pos(), true)
+				}
+				return true
+			}
+			addEdge(fn.FullName(), n.Pos(), false)
+		}
+		return true
+	})
+}
+
+// implementers returns the node IDs of method `name` on every named type
+// (or its pointer) that implements the interface type iface, sorted for
+// determinism.
+func implementers(named []*types.Named, iface types.Type, name string) []string {
+	it, ok := iface.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var ids []string
+	for _, n := range named {
+		if types.IsInterface(n.Underlying()) {
+			continue
+		}
+		if !types.Implements(n, it) && !types.Implements(types.NewPointer(n), it) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), true, n.Obj().Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			ids = append(ids, m.Origin().FullName())
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// sortEdges orders a node's edges and banned uses by position so every
+// traversal of the graph is deterministic.
+func sortEdges(n *CallNode) {
+	sort.Slice(n.Calls, func(i, j int) bool {
+		if n.Calls[i].Pos != n.Calls[j].Pos {
+			return n.Calls[i].Pos < n.Calls[j].Pos
+		}
+		return n.Calls[i].Callee < n.Calls[j].Callee
+	})
+	sort.Slice(n.Banned, func(i, j int) bool {
+		if n.Banned[i].Pos != n.Banned[j].Pos {
+			return n.Banned[i].Pos < n.Banned[j].Pos
+		}
+		return n.Banned[i].Pkg+"."+n.Banned[i].Name < n.Banned[j].Pkg+"."+n.Banned[j].Name
+	})
+}

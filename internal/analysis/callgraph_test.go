@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// loadFixtureGraph loads the clockflow fixture pair and builds the graph
+// once per test that needs it.
+func loadFixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	pkgs, err := Load(
+		filepath.Join("testdata", "src", "gillis", "internal", "runtime"),
+		filepath.Join("testdata", "src", "gillis", "internal", "stats"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// edgeTo returns node's edge to callee, or nil.
+func edgeTo(n *CallNode, callee string) *CallEdge {
+	for i := range n.Calls {
+		if n.Calls[i].Callee == callee {
+			return &n.Calls[i]
+		}
+	}
+	return nil
+}
+
+// TestCallGraphStaticEdges pins exact static resolution: direct calls and
+// function values tracked through local assignment both produce edges.
+func TestCallGraphStaticEdges(t *testing.T) {
+	g := loadFixtureGraph(t)
+
+	replay := g.Node("gillis/internal/runtime.Replay")
+	if replay == nil {
+		t.Fatal("no node for runtime.Replay")
+	}
+	e := edgeTo(replay, "gillis/internal/stats.Jitter")
+	if e == nil {
+		t.Fatal("Replay is missing its cross-package edge to stats.Jitter")
+	}
+	if e.Interface {
+		t.Error("static call marked as interface dispatch")
+	}
+
+	// `f := stats.Jitter; f()` — the reference at the assignment is the edge.
+	fn := g.Node("gillis/internal/runtime.ReplayFn")
+	if fn == nil || edgeTo(fn, "gillis/internal/stats.Jitter") == nil {
+		t.Error("function value assigned to a local lost its edge")
+	}
+
+	// Pure helpers produce edges too (the graph is a call graph, not a
+	// taint graph); the chain Jitter -> wallNanos must exist.
+	jitter := g.Node("gillis/internal/stats.Jitter")
+	if jitter == nil || edgeTo(jitter, "gillis/internal/stats.wallNanos") == nil {
+		t.Error("same-package helper edge missing")
+	}
+}
+
+// TestCallGraphInterfaceDispatch pins the method-set approximation: a call
+// through an interface method adds a marked edge to every implementing
+// concrete method in the universe.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadFixtureGraph(t)
+	mixed := g.Node("gillis/internal/runtime.ReplayMixed")
+	if mixed == nil {
+		t.Fatal("no node for runtime.ReplayMixed")
+	}
+	e := edgeTo(mixed, "(gillis/internal/stats.Source).Draw")
+	if e == nil {
+		t.Fatalf("interface call did not resolve to (stats.Source).Draw; edges: %v", mixed.Calls)
+	}
+	if !e.Interface {
+		t.Error("method-set edge not marked Interface")
+	}
+}
+
+// TestCallGraphBannedUses pins the per-node banned-source record, including
+// the //gillis:allow state that keeps justified wall-clock reads from
+// becoming taint sources.
+func TestCallGraphBannedUses(t *testing.T) {
+	g := loadFixtureGraph(t)
+
+	wall := g.Node("gillis/internal/stats.wallNanos")
+	if wall == nil || len(wall.Banned) != 1 {
+		t.Fatalf("wallNanos banned uses = %+v, want exactly one", wall)
+	}
+	if b := wall.Banned[0]; b.Pkg != "time" || b.Name != "Now" || b.Allowed {
+		t.Errorf("wallNanos banned use = %+v, want non-allowed time.Now", b)
+	}
+
+	probe := g.Node("gillis/internal/runtime.timedProbe")
+	if probe == nil || len(probe.Banned) != 1 {
+		t.Fatalf("timedProbe banned uses = %+v, want exactly one", probe)
+	}
+	if !probe.Banned[0].Allowed {
+		t.Error("nodeterm-allowed wall-clock read not marked Allowed")
+	}
+}
+
+// writeTestPkg builds a throwaway package under testdata (the loader
+// resolves import paths relative to the module, so t.TempDir is out).
+func writeTestPkg(t *testing.T, pattern string, files map[string]string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("testdata", pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestCallGraphGenerics checks that generic functions and methods load and
+// graph correctly: instantiated uses map back to the single generic
+// declaration node via Origin, so `Sum[int]` and `Sum[float64]` share one
+// node rather than dangling as unmatched instantiation IDs.
+func TestCallGraphGenerics(t *testing.T) {
+	dir := writeTestPkg(t, "generics-*", map[string]string{
+		"g.go": `package p
+
+type Number interface{ ~int | ~float64 }
+
+func Sum[T Number](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type Stack[T any] struct{ items []T }
+
+func (st *Stack[T]) Push(v T) { st.items = append(st.items, v) }
+
+func UseAll() int {
+	var st Stack[int]
+	st.Push(Sum([]int{1, 2}))
+	return int(Sum([]float64{float64(len(st.items))}))
+}
+
+var total = Sum([]float64{1, 2})
+`,
+	})
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("generic package failed to load: %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+	path := pkgs[0].Path
+
+	use := g.Node(path + ".UseAll")
+	if use == nil {
+		t.Fatalf("no node for UseAll; nodes: %v", nodeIDs(g))
+	}
+	if edgeTo(use, path+".Sum") == nil {
+		t.Errorf("instantiated generic call lost its edge to the declaration; edges: %v", use.Calls)
+	}
+	if edgeTo(use, "(*"+path+".Stack[T]).Push") == nil {
+		t.Errorf("instantiated generic method call lost its edge; edges: %v", use.Calls)
+	}
+	// Both instantiations share one declaration node — no per-instance IDs.
+	for id := range g.Nodes {
+		if strings.Contains(id, "Sum[") {
+			t.Errorf("per-instantiation node leaked into the graph: %s", id)
+		}
+	}
+	// Package-level var initializers hang off the synthetic init node.
+	ini := g.Node(path + ".init")
+	if ini == nil || edgeTo(ini, path+".Sum") == nil {
+		t.Error("package-level initializer call missing from the synthetic init node")
+	}
+}
+
+// TestCallGraphBuildConstraints checks the graph inherits the loader's
+// host view: when a function is declared behind opposite build tags, only
+// the host variant contributes a node and its banned uses.
+func TestCallGraphBuildConstraints(t *testing.T) {
+	dir := writeTestPkg(t, "graphtags-*", map[string]string{
+		"entry.go": "package p\n\nfunc Entry() int64 { return impl() }\n",
+		"impl_host.go": fmt.Sprintf(
+			"//go:build %s\n\npackage p\n\nimport \"time\"\n\nfunc impl() int64 { return time.Now().UnixNano() }\n",
+			runtime.GOARCH),
+		"impl_other.go": fmt.Sprintf(
+			"//go:build !%s\n\npackage p\n\nfunc impl() int64 { return 0 }\n",
+			runtime.GOARCH),
+	})
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("constraint-split package failed to load: %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+	path := pkgs[0].Path
+
+	impl := g.Node(path + ".impl")
+	if impl == nil {
+		t.Fatalf("no node for impl; nodes: %v", nodeIDs(g))
+	}
+	if len(impl.Banned) != 1 || impl.Banned[0].Name != "Now" {
+		t.Errorf("impl banned uses = %+v, want the host variant's time.Now", impl.Banned)
+	}
+	entry := g.Node(path + ".Entry")
+	if entry == nil || edgeTo(entry, path+".impl") == nil {
+		t.Error("Entry is missing its edge to the host impl variant")
+	}
+}
+
+// TestPkgNodesDeterministic checks PkgNodes returns declaration order.
+func TestPkgNodesDeterministic(t *testing.T) {
+	g := loadFixtureGraph(t)
+	nodes := g.PkgNodes("gillis/internal/stats")
+	if len(nodes) < 3 {
+		t.Fatalf("PkgNodes(stats) = %d nodes, want at least Jitter, wallNanos, Draw", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Pos >= nodes[i].Pos {
+			t.Fatalf("PkgNodes out of declaration order at %d: %s, %s", i, nodes[i-1].ID, nodes[i].ID)
+		}
+	}
+}
+
+func nodeIDs(g *CallGraph) []string {
+	var ids []string
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,116 @@
+package analysis
+
+// AnalyzerClockflow is the inter-procedural strengthening of nodeterm:
+// taint-style propagation of the banned ambient-nondeterminism sources
+// (time.Now/Since, global math/rand draws, os.Getenv — the nodeterm table)
+// across the module-wide call graph. A function in a simnet-clocked
+// package that reaches a banned source through any number of call hops —
+// a helper in internal/stats, a function value, an interface method — is
+// flagged at the call site that starts the tainted chain, with the full
+// chain rendered so a violation three hops deep is as actionable as a
+// direct one.
+//
+// Division of labour with nodeterm: nodeterm remains the fast
+// direct-call check (hop count zero, no graph needed); clockflow reports
+// only chains of at least one hop, so the two never duplicate a finding.
+// Banned uses carrying a justified //gillis:allow (for nodeterm or
+// clockflow) are not taint sources: bench/kernels.go's wall-clock
+// microbenchmark loop is sanctioned once, at the read, instead of
+// re-flagged in every transitive caller.
+var AnalyzerClockflow = &Analyzer{
+	Name: "clockflow",
+	Doc: "flags functions in simnet-clocked packages that transitively " +
+		"reach a banned nondeterminism source (time.Now, global math/rand, " +
+		"os.Getenv) through any call chain, rendering the full chain; " +
+		"strengthens nodeterm across function and package boundaries",
+	NeedsGraph: true,
+	Run:        runClockflow,
+}
+
+func runClockflow(pass *Pass) {
+	var match string
+	for _, p := range clockedPkgs {
+		if hasPathPrefix(pass.Pkg.Path(), p) {
+			match = p
+			break
+		}
+	}
+	if match == "" || pass.Graph == nil {
+		return
+	}
+	for _, node := range pass.Graph.PkgNodes(pass.Pkg.Path()) {
+		edge, chain, sink := shortestTaintedChain(pass.Graph, node)
+		if chain == nil {
+			continue
+		}
+		pass.ReportChain(edge.Pos, chain,
+			"call to %s transitively reaches nondeterministic %s.%s (%d hop(s) away); %s is simnet-clocked (derive it from the Env clock or a seeded *rand.Rand)",
+			edge.Callee, sink.Pkg, sink.Name, len(chain)-2, match)
+	}
+}
+
+// shortestTaintedChain finds the shortest call chain from node to a
+// non-allowed banned source, at least one hop long (direct uses are
+// nodeterm's findings). It returns the first edge of the chain (whose
+// position anchors the diagnostic), the rendered chain — caller first,
+// banned source last — and the banned use at the sink. BFS over
+// position-sorted edges makes the result deterministic; ties break toward
+// the earliest call site in the function.
+func shortestTaintedChain(g *CallGraph, node *CallNode) (CallEdge, []string, BannedUse) {
+	type item struct {
+		id   string
+		prev int // index into visited order, -1 for roots
+		via  CallEdge
+	}
+	var queue []item
+	visited := map[string]bool{node.ID: true}
+	for _, e := range node.Calls {
+		if !visited[e.Callee] {
+			visited[e.Callee] = true
+			queue = append(queue, item{e.Callee, -1, e})
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		it := queue[i]
+		n := g.Node(it.id)
+		if n == nil {
+			continue
+		}
+		if use, ok := taintSource(n); ok {
+			// Reconstruct the chain by walking prev links back to the root.
+			ids := []string{it.id}
+			for j := it.prev; j >= 0; j = queue[j].prev {
+				ids = append(ids, queue[j].id)
+			}
+			chain := []string{node.ID}
+			for k := len(ids) - 1; k >= 0; k-- {
+				chain = append(chain, ids[k])
+			}
+			chain = append(chain, use.Pkg+"."+use.Name)
+			// The diagnostic anchors on the first edge out of node: the
+			// via of the chain's root ancestor.
+			root := i
+			for queue[root].prev >= 0 {
+				root = queue[root].prev
+			}
+			return queue[root].via, chain, use
+		}
+		for _, e := range n.Calls {
+			if !visited[e.Callee] {
+				visited[e.Callee] = true
+				queue = append(queue, item{e.Callee, i, e})
+			}
+		}
+	}
+	return CallEdge{}, nil, BannedUse{}
+}
+
+// taintSource returns the first non-allowed banned use in n, if any.
+func taintSource(n *CallNode) (BannedUse, bool) {
+	for _, b := range n.Banned {
+		if !b.Allowed {
+			return b, true
+		}
+	}
+	return BannedUse{}, false
+}

@@ -10,24 +10,30 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden diagnostic files")
 
-// goldenCases maps each analyzer to its fixture package under testdata/src.
-// Fixture directories under "gillis/..." exercise the analyzers'
-// import-path gating via the loader's testdata/src remapping. golden names
-// the golden file (without extension) when one analyzer has several
-// fixtures; empty means the analyzer's own name.
+// goldenCases maps each analyzer to its fixture packages under
+// testdata/src. Fixture directories under "gillis/..." exercise the
+// analyzers' import-path gating via the loader's testdata/src remapping.
+// Inter-procedural cases list every package the call chain crosses
+// (clockflow's chains run from the clocked runtime fixture into the
+// non-clocked stats fixture). golden names the golden file (without
+// extension) when one analyzer has several fixtures; empty means the
+// analyzer's own name.
 var goldenCases = []struct {
 	analyzer *Analyzer
-	fixture  string
+	fixtures []string
 	golden   string
 }{
-	{AnalyzerErrdrop, "gillis/internal/errdrop", ""},
-	{AnalyzerFloatacc, "floatacc", ""},
-	{AnalyzerMaporder, "maporder", ""},
-	{AnalyzerNiltrace, "gillis/internal/trace", ""},
-	{AnalyzerNodeterm, "gillis/internal/platform", ""},
-	{AnalyzerNodeterm, "gillis/internal/gateway", "nodeterm_gateway"},
-	{AnalyzerNodeterm, "gillis/internal/adapt", "nodeterm_adapt"},
-	{AnalyzerNodeterm, "gillis/internal/batching", "nodeterm_batching"},
+	{AnalyzerClockflow, []string{"gillis/internal/runtime", "gillis/internal/stats"}, ""},
+	{AnalyzerErrdrop, []string{"gillis/internal/errdrop"}, ""},
+	{AnalyzerFloatacc, []string{"floatacc"}, ""},
+	{AnalyzerGoleak, []string{"gillis/internal/workload"}, ""},
+	{AnalyzerMaporder, []string{"maporder"}, ""},
+	{AnalyzerNiltrace, []string{"gillis/internal/trace"}, ""},
+	{AnalyzerNodeterm, []string{"gillis/internal/platform"}, ""},
+	{AnalyzerNodeterm, []string{"gillis/internal/gateway"}, "nodeterm_gateway"},
+	{AnalyzerNodeterm, []string{"gillis/internal/adapt"}, "nodeterm_adapt"},
+	{AnalyzerNodeterm, []string{"gillis/internal/batching"}, "nodeterm_batching"},
+	{AnalyzerSharedmut, []string{"sharedmut"}, ""},
 }
 
 // TestGoldenDiagnostics pins each analyzer's findings over its fixture
@@ -40,12 +46,16 @@ func TestGoldenDiagnostics(t *testing.T) {
 			goldenName = tc.analyzer.Name
 		}
 		t.Run(goldenName, func(t *testing.T) {
-			pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(tc.fixture)))
+			var dirs []string
+			for _, fx := range tc.fixtures {
+				dirs = append(dirs, filepath.Join("testdata", "src", filepath.FromSlash(fx)))
+			}
+			pkgs, err := Load(dirs...)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(pkgs) != 1 {
-				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			if len(pkgs) != len(dirs) {
+				t.Fatalf("loaded %d packages, want %d", len(pkgs), len(dirs))
 			}
 			var sb strings.Builder
 			for _, d := range Run(pkgs, []*Analyzer{tc.analyzer}) {

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerSharedmut generalizes floatacc's concurrency discipline beyond
+// float accumulation: it flags every mutation of shared (captured) state
+// inside concurrently-executed closures — go-spawned closures and bodies
+// handed to par.For — that the disjoint-ownership contract cannot
+// sanction:
+//
+//   - writes into a captured map (m[k] = v, m[k]++, delete-free maps have
+//     no disjoint-element ownership and racing writes corrupt the map);
+//   - append to a captured slice (s = append(s, ...) races on len and on
+//     the backing array);
+//   - non-indexed assignment or ++/-- to any captured variable (scalar,
+//     struct field, pointer target): last-writer-wins is
+//     scheduling-dependent.
+//
+// Indexed writes into a captured slice or array (c[j] = v, c[j] += v)
+// remain sanctioned in both contexts: par.For hands each body invocation
+// a disjoint [lo, hi) range and fork-join spawns conventionally write
+// result[i] for a loop-private i, so each element has exactly one owner —
+// the exact discipline the GEMM micro-kernel's output panels depend on.
+// Float compound assignment to captured scalars is floatacc's finding and
+// is not re-reported here. internal/par itself hosts the pool primitive
+// and its deliberate shared state, and is skipped like floatacc does.
+var AnalyzerSharedmut = &Analyzer{
+	Name: "sharedmut",
+	Doc: "flags mutation of captured state inside par.For bodies and " +
+		"go-spawned closures — map writes, append to a captured slice, " +
+		"non-indexed assignments; only disjoint indexed slice-element " +
+		"writes are safe under the kernel engine's ownership contract",
+	Run: runSharedmut,
+}
+
+func runSharedmut(pass *Pass) {
+	if hasPathPrefix(pass.Pkg.Path(), "gillis/internal/par") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				ast.Inspect(n.Call, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						checkSharedMut(pass, lit, "a go-spawned closure")
+					}
+					return true
+				})
+			case *ast.CallExpr:
+				if !isParFor(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkSharedMut(pass, lit, "a par.For body")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSharedMut reports unsanctioned mutations of captured state inside
+// lit.
+func checkSharedMut(pass *Pass, lit *ast.FuncLit, context string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				checkWrite(pass, lit, context, n.Tok, lhs, rhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, context, n.Tok, n.X, nil, n.Pos())
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one write target inside a concurrent closure and
+// reports it when it mutates captured state outside the sanctioned
+// disjoint-indexed-element pattern.
+func checkWrite(pass *Pass, lit *ast.FuncLit, context string, tok token.Token, lhs, rhs ast.Expr, pos token.Pos) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := pass.Info.ObjectOf(root)
+	// Only captured state is shared: targets declared inside the closure
+	// are private to one invocation.
+	if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()) {
+		return
+	}
+
+	if idx, ok := unparen(lhs).(*ast.IndexExpr); ok {
+		base := pass.Info.Types[idx.X].Type
+		if base != nil {
+			switch base.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(pos,
+					"write into map `%s` captured by %s; map writes have no disjoint-element ownership and race, use per-range private maps merged after the join",
+					root.Name, context)
+			}
+		}
+		// Indexed slice/array element writes are the sanctioned
+		// disjoint-ownership pattern.
+		return
+	}
+
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && tok == token.ASSIGN {
+		if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+			if _, isBuiltin := pass.Info.ObjectOf(fn).(*types.Builtin); isBuiltin {
+				pass.Reportf(pos,
+					"append to slice `%s` captured by %s; concurrent appends race on the length and backing array, preallocate and write disjoint indices",
+					root.Name, context)
+				return
+			}
+		}
+	}
+
+	// Float compound accumulation is floatacc's finding; do not duplicate.
+	if compoundOps[tok] {
+		if tv, ok := pass.Info.Types[lhs]; ok && isFloat(tv.Type) {
+			return
+		}
+	}
+
+	pass.Reportf(pos,
+		"assignment to `%s` captured by %s; a non-indexed write to shared state is last-writer-wins under scheduling, keep per-invocation state local or write disjoint slice elements",
+		root.Name, context)
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

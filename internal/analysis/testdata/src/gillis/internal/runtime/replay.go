@@ -1,0 +1,79 @@
+// Package runtime is a clockflow fixture impersonating the simnet-clocked
+// serving runtime: the loader remaps testdata/src/<path> to <path>, so
+// this file type-checks as gillis/internal/runtime. Every function below
+// that reaches a banned nondeterminism source does so *transitively* —
+// through helpers in this package, through the non-clocked stats fixture
+// package, through a function value, or through interface dispatch — so
+// nodeterm's direct-call check stays silent and only clockflow fires.
+package runtime
+
+import (
+	"math/rand"
+	"time"
+
+	"gillis/internal/stats"
+)
+
+// Replay reaches time.Now exactly two call hops and one package boundary
+// away: Replay -> stats.Jitter -> stats.wallNanos -> time.Now. This is
+// the acceptance-criterion chain.
+func Replay() float64 {
+	return stats.Jitter() // want: two-hop cross-package chain
+}
+
+// replayOnce reaches the global RNG one hop away through a helper in this
+// same package.
+func replayOnce() time.Duration {
+	return sleepBudget() // want: one-hop chain
+}
+
+// sleepBudget draws from the unseeded global RNG; nodeterm flags this
+// direct use, clockflow flags its callers.
+func sleepBudget() time.Duration {
+	return time.Duration(rand.Int63n(1e6))
+}
+
+// Drawer is satisfied by stats.Source; the call below dispatches through
+// the interface, so the edge to (stats.Source).Draw exists only by
+// method-set matching.
+type Drawer interface {
+	Draw() float64
+}
+
+// ReplayMixed reaches time.Now through interface dispatch.
+func ReplayMixed(d Drawer) float64 {
+	return d.Draw() // want: interface-dispatch chain
+}
+
+// ReplayFn reaches time.Now through a function value tracked through
+// local assignment.
+func ReplayFn() float64 {
+	f := stats.Jitter // want: function-value chain
+	return f()
+}
+
+// ReplayClean calls only pure helpers and stays clean.
+func ReplayClean(xs []float64) float64 {
+	return stats.Mean(xs)
+}
+
+// ReplayAllowed demonstrates suppression: the transitive read is
+// justified on the line above the call.
+func ReplayAllowed() float64 {
+	//gillis:allow clockflow fixture demonstrates a justified transitive wall-clock read
+	return stats.Jitter()
+}
+
+// timedProbe carries a justified direct wall-clock read (nodeterm's
+// domain); the allow kills the taint source, so transitive callers stay
+// clean — the bench/kernels.go microbenchmark pattern.
+func timedProbe() int64 {
+	//gillis:allow nodeterm fixture demonstrates an intentional wall-clock probe
+	return time.Now().UnixNano()
+}
+
+// ReplayProbed calls the sanctioned probe; clockflow must not re-flag a
+// source that is justified at the read.
+func ReplayProbed() int64 {
+	return timedProbe()
+}

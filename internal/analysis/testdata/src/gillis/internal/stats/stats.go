@@ -1,0 +1,43 @@
+// Package stats is a clockflow fixture impersonating a *non-clocked*
+// helper package: nodeterm never fires here, so the banned sources below
+// are invisible to the intra-procedural suite. They are only reachable —
+// and only a violation — through a call chain that starts in a
+// simnet-clocked package (see the sibling runtime fixture), which is
+// exactly the blind spot clockflow exists to close.
+package stats
+
+import "time"
+
+// Jitter looks innocent from a clocked caller: the wall-clock read is two
+// call hops down and one package boundary away.
+func Jitter() float64 {
+	return float64(wallNanos()) / 1e9
+}
+
+// wallNanos is the buried banned source: a direct time.Now in a package
+// nodeterm does not police.
+func wallNanos() int64 {
+	return time.Now().UnixNano()
+}
+
+// Source draws samples from the wall clock behind an innocent-looking
+// method, so interface dispatch from a clocked package reaches it only
+// via method-set matching.
+type Source struct{}
+
+// Draw reads the wall clock directly.
+func (Source) Draw() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Mean is genuinely pure: clocked callers of this helper stay clean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,123 @@
+// Package sharedmut is a fixture for the sharedmut analyzer: mutation of
+// captured state inside par.For bodies and go-spawned closures, beyond
+// floatacc's float-accumulation pattern. It imports the real
+// gillis/internal/par package so the par.For detection path is the one
+// production kernels exercise.
+package sharedmut
+
+import (
+	"sync"
+
+	"gillis/internal/par"
+)
+
+// MapWrite races on a captured map: map writes have no disjoint-element
+// ownership.
+func MapWrite(keys []int) map[int]int {
+	hist := make(map[int]int)
+	par.For(len(keys), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hist[keys[i]]++ // want: captured map write
+		}
+	})
+	return hist
+}
+
+// SliceAppend races on the captured slice header.
+func SliceAppend(xs []float64) []float64 {
+	var out []float64
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out = append(out, xs[i]*2) // want: captured append
+		}
+	})
+	return out
+}
+
+// ScalarWrite is last-writer-wins on a captured scalar.
+func ScalarWrite(xs []float64) int {
+	var last int
+	par.For(len(xs), 1, func(lo, hi int) {
+		last = hi // want: captured non-indexed assignment
+	})
+	return last
+}
+
+// CounterInc races an increment in a go-spawned closure.
+func CounterInc(done chan struct{}) int {
+	n := 0
+	go func() {
+		n++ // want: captured increment
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// FieldWrite mutates a captured struct through a field selector.
+type acc struct{ total float64 }
+
+func FieldWrite(xs []float64, done chan struct{}) float64 {
+	var a acc
+	go func() {
+		a.total = float64(len(xs)) // want: captured field write
+		close(done)
+	}()
+	<-done
+	return a.total
+}
+
+// DisjointElems is the sanctioned kernel pattern: each body invocation
+// owns the [lo, hi) range of the captured output slice.
+func DisjointElems(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2
+		}
+	})
+	return out
+}
+
+// FloatCompound is floatacc's finding, not sharedmut's: the float +=
+// into a captured scalar must not be double-reported.
+func FloatCompound(xs []float64) float64 {
+	var sum float64
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // floatacc flags this; sharedmut stays silent
+		}
+	})
+	return sum
+}
+
+// LocalState keeps all mutation private to one invocation and stays
+// clean.
+func LocalState(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	par.For(len(xs), 1, func(lo, hi int) {
+		scale := 2.0
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * scale
+		}
+	})
+	return out
+}
+
+// AllowedMerge is a justified shared write: the WaitGroup-joined spawn
+// writes a captured field under a mutex the analyzer cannot see.
+func AllowedMerge(xs []float64) float64 {
+	var mu sync.Mutex
+	var total float64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		//gillis:allow sharedmut fixture demonstrates a justified mutex-guarded write
+		total = float64(len(xs))
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return total
+}

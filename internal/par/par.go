@@ -74,6 +74,7 @@ var pool struct {
 func startPool() {
 	pool.tasks = make(chan func(), 4*runtime.GOMAXPROCS(0))
 	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		//gillis:allow goleak pool workers are deliberately detached for the process lifetime; For joins each submitted task through its own WaitGroup
 		go func() {
 			for task := range pool.tasks {
 				task()
@@ -90,6 +91,7 @@ func submit(fn func()) {
 	select {
 	case pool.tasks <- fn:
 	default:
+		//gillis:allow goleak fn is For's task closure, which signals a WaitGroup For waits on; submit cannot see that contract across the call boundary
 		go fn()
 	}
 }

@@ -97,9 +97,11 @@ func (e *Env) Go(name string, fn func(*Proc)) {
 	defer e.mu.Unlock()
 	e.pushLocked(e.now, func() {
 		e.runnable++
+		//gillis:allow goleak process goroutines are joined by the scheduler: Run blocks on the runnable count under e.cond until every spawned process has decremented it
 		go func() {
 			fn(p)
 			e.mu.Lock()
+			//gillis:allow sharedmut runnable is a scheduler counter guarded by e.mu; decrement order is irrelevant to the virtual-time semantics
 			e.runnable--
 			e.cond.Broadcast()
 			e.mu.Unlock()

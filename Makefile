@@ -7,9 +7,9 @@
 GO ?= go
 RACE_PKGS := ./internal/par ./internal/nn ./internal/runtime ./internal/platform ./internal/simnet \
 	./internal/bench ./internal/trace ./internal/trace/tracetest ./internal/analysis \
-	./internal/gateway ./internal/adapt ./internal/batching
+	./internal/gateway ./internal/adapt ./internal/batching ./internal/mesh
 
-.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load bench-adapt bench-batch
+.PHONY: ci lint vet build test race chaos cover bench-kernels bench-kernels-pin bench-chaos bench-load bench-adapt bench-batch bench-mesh
 
 ci: lint build test race chaos
 
@@ -83,3 +83,8 @@ bench-adapt:
 # fully seeded and ShapeOnly: same output on any machine).
 bench-batch:
 	$(GO) run ./cmd/gillis-bench -quick -seed 42 -batch -batch-json BENCH_batch.json
+
+# Regenerate the checked-in multi-model serving-mesh baseline (quick-mode
+# sweep, fully seeded and ShapeOnly: same output on any machine).
+bench-mesh:
+	$(GO) run ./cmd/gillis-bench -quick -seed 42 -mesh -mesh-json BENCH_mesh.json

@@ -10,6 +10,7 @@
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //	             [-trace-json FILE] [-load] [-load-json FILE]
 //	             [-adapt] [-adapt-json FILE] [-batch] [-batch-json FILE]
+//	             [-mesh] [-mesh-json FILE]
 //
 // -trace-json serves one seeded resilient fork-join query of the chaos
 // workload under fault injection and writes its span tree as Chrome
@@ -32,6 +33,12 @@
 // throughput-optimal) and reporting throughput, tail latency, and cost per
 // query, skipping the figure sweep; -batch-json additionally writes the
 // sweep as JSON (the BENCH_batch.json baseline).
+//
+// -mesh replays Zipf-skewed multi-model traces through the serving mesh,
+// sweeping catalog size × popularity skew × pool size and comparing LRU
+// model caching against a no-cache baseline on hit rate, SLO attainment,
+// and cost per query, skipping the figure sweep; -mesh-json additionally
+// writes the sweep as JSON (the BENCH_mesh.json baseline).
 package main
 
 import (
@@ -99,6 +106,8 @@ func run(args []string, stdout io.Writer) error {
 	adaptJSON := fs.String("adapt-json", "", "write the adaptive scenario as JSON to this file (BENCH_adapt.json baseline; implies -adapt)")
 	batchFlag := fs.Bool("batch", false, "run the cross-query batching sweep (throughput + cost vs batch size x rate x planner), skipping the figure sweep")
 	batchJSON := fs.String("batch-json", "", "write the batching sweep as JSON to this file (BENCH_batch.json baseline; implies -batch)")
+	meshFlag := fs.Bool("mesh", false, "run the multi-model serving-mesh sweep (hit rate + SLO + cost vs catalog size x Zipf skew x pool size), skipping the figure sweep")
+	meshJSON := fs.String("mesh-json", "", "write the mesh sweep as JSON to this file (BENCH_mesh.json baseline; implies -mesh)")
 	traceJSON := fs.String("trace-json", "", "trace one fork-join query and write Chrome trace-event JSON to this file")
 	traceFaults := fs.Float64("trace-faults", 0.05, "fault rate for the traced query (-trace-json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -197,6 +206,25 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "batch sweep written to %s\n", *batchJSON)
+		}
+		return nil
+	}
+
+	if *meshFlag || *meshJSON != "" {
+		report, err := bench.SweepMesh(ctx)
+		if err != nil {
+			return fmt.Errorf("mesh: %w", err)
+		}
+		fmt.Fprintln(stdout, report.Table())
+		if *meshJSON != "" {
+			js, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*meshJSON, js, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "mesh sweep written to %s\n", *meshJSON)
 		}
 		return nil
 	}

@@ -15,11 +15,18 @@
 // Usage:
 //
 //	gillis-server [-addr :8080] [-modelfile m.glsm] [-platform lambda]
-//	              [-slo-ms 500]
+//	              [-slo-ms 500] [-catalog rnn-tiny2,mobilenet-mini]
 //
 // Without -modelfile a small built-in demo CNN is served. -slo-ms sets the
 // per-query latency deadline tracked by the gateway.slo_attained /
 // gateway.slo_violated counters (0 disables the deadline).
+//
+// -catalog additionally serves the named zoo models through the multi-model
+// mesh: a predict request naming one of them ({"model":"rnn-tiny2", ...})
+// is routed by the mesh's placement layer — paying a model load on first
+// use, hitting residency afterwards — and the mesh.hits / mesh.misses /
+// mesh.loads counters aggregate in /v1/metrics. Requests without a model
+// field keep serving the primary model exactly as before.
 package main
 
 import (
@@ -30,12 +37,15 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"gillis/internal/core"
 	"gillis/internal/gateway"
 	"gillis/internal/graph"
+	"gillis/internal/mesh"
 	"gillis/internal/modelio"
+	"gillis/internal/models"
 	"gillis/internal/nn"
 	"gillis/internal/partition"
 	"gillis/internal/perf"
@@ -52,15 +62,16 @@ func main() {
 	platformName := flag.String("platform", "lambda", "platform: lambda, gcf, or knix")
 	seed := flag.Int64("seed", 1, "seed")
 	sloMs := flag.Float64("slo-ms", 0, "per-query latency SLO in simulated ms (0 = no deadline)")
+	catalogFlag := flag.String("catalog", "", "comma-separated zoo models additionally served through the multi-model mesh")
 	flag.Parse()
 
-	srv, err := newServer(*modelFile, *platformName, *seed, *sloMs)
+	srv, err := newServer(*modelFile, *platformName, *seed, *sloMs, *catalogFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gillis-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("serving %s on %s (platform %s, %d plan groups)",
-		srv.model.Name, *addr, *platformName, len(srv.plan.Groups))
+	log.Printf("serving %s on %s (platform %s, %d plan groups, %d catalog models)",
+		srv.model.Name, *addr, *platformName, len(srv.plan.Groups), len(srv.catalog))
 	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
 }
 
@@ -77,9 +88,12 @@ type server struct {
 	seed    int64
 	sloMs   float64
 	metrics *trace.Registry
+	// catalog holds the zoo models additionally served through the
+	// multi-model mesh (empty without -catalog).
+	catalog []mesh.ModelSpec
 }
 
-func newServer(modelFile, platformName string, seed int64, sloMs float64) (*server, error) {
+func newServer(modelFile, platformName string, seed int64, sloMs float64, catalog string) (*server, error) {
 	cfg, err := platform.ByName(platformName)
 	if err != nil {
 		return nil, err
@@ -109,7 +123,51 @@ func newServer(modelFile, platformName string, seed int64, sloMs float64) (*serv
 	if err != nil {
 		return nil, err
 	}
-	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed, sloMs: sloMs, metrics: trace.NewRegistry()}, nil
+	specs, err := catalogSpecs(catalog, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &server{model: g, units: units, plan: plan, cfg: cfg, seed: seed, sloMs: sloMs,
+		metrics: trace.NewRegistry(), catalog: specs}, nil
+}
+
+// catalogSpecs resolves the -catalog list into mesh catalog entries: each
+// zoo model initialized with real weights and planned as a single
+// all-on-master group (the mesh demo studies placement and residency, not
+// partition structure).
+func catalogSpecs(catalog string, seed int64) ([]mesh.ModelSpec, error) {
+	if catalog == "" {
+		return nil, nil
+	}
+	var specs []mesh.ModelSpec
+	for _, name := range strings.Split(catalog, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		g, err := models.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		g.Init(seed)
+		units, err := partition.Linearize(g)
+		if err != nil {
+			return nil, fmt.Errorf("catalog %s: %w", name, err)
+		}
+		plan := &partition.Plan{Model: name, Groups: []partition.GroupPlan{{
+			First: 0, Last: len(units) - 1,
+			Option:   partition.Option{Dim: partition.DimNone, Parts: 1},
+			OnMaster: true,
+		}}}
+		if err := plan.Validate(units); err != nil {
+			return nil, fmt.Errorf("catalog %s: %w", name, err)
+		}
+		specs = append(specs, mesh.ModelSpec{ID: name, Units: units, Plan: plan})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("catalog: no model names in %q", catalog)
+	}
+	return specs, nil
 }
 
 // demoModel is the built-in CNN served when no model file is given.
@@ -151,6 +209,9 @@ type modelInfo struct {
 	ParamsMB float64  `json:"paramsMB"`
 	Platform string   `json:"platform"`
 	Plan     []string `json:"plan"`
+	// Catalog lists the zoo models additionally served through the
+	// multi-model mesh; omitted without -catalog.
+	Catalog []string `json:"catalog,omitempty"`
 }
 
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -161,20 +222,27 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 		ParamsMB: float64(s.model.ParamBytes()) / 1e6,
 		Platform: s.cfg.Name,
 	}
+	for _, spec := range s.catalog {
+		info.Catalog = append(info.Catalog, spec.ID)
+	}
 	for gi, gp := range s.plan.Groups {
 		info.Plan = append(info.Plan, fmt.Sprintf("group %d: units %d..%d %s", gi+1, gp.First, gp.Last, gp.Option))
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
-// predictRequest is the /v1/predict request body.
+// predictRequest is the /v1/predict request body. Model names a -catalog
+// entry to serve through the multi-model mesh; empty serves the primary
+// model.
 type predictRequest struct {
+	Model string    `json:"model,omitempty"`
 	Shape []int     `json:"shape"`
 	Input []float32 `json:"input"`
 }
 
 // predictResponse is the /v1/predict response body.
 type predictResponse struct {
+	Model     string    `json:"model,omitempty"` // catalog model (mesh-routed requests)
 	Shape     []int     `json:"shape"`
 	Output    []float32 `json:"output"`
 	LatencyMs float64   `json:"latencyMs"` // simulated serverless latency
@@ -195,7 +263,16 @@ func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.infer(input)
+	var res *predictResponse
+	if req.Model != "" {
+		res, err = s.inferModel(req.Model, input)
+		if errors.Is(err, errNotInCatalog) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		res, err = s.infer(input)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -230,6 +307,62 @@ func (s *server) infer(input *tensor.Tensor) (*predictResponse, error) {
 		return nil, errors.New(o.Err)
 	}
 	return &predictResponse{
+		Shape:     o.Output.Shape(),
+		Output:    o.Output.Data(),
+		LatencyMs: o.LatencyMs,
+		BilledMs:  o.BilledMs,
+		QueueMs:   o.QueueMs,
+		BatchSize: o.BatchSize,
+		SLOOk:     o.SLOOK,
+	}, nil
+}
+
+// errNotInCatalog rejects model-tagged requests the server cannot route.
+var errNotInCatalog = errors.New("model not in -catalog")
+
+// inferModel runs one mesh-routed inference on a fresh simulation: the
+// whole catalog is registered with a single-instance mesh, the request's
+// model is loaded (billed like autoscaler prewarming) and served with real
+// tensor math, and the mesh's hit/miss/load counters accumulate in the
+// shared metrics registry.
+func (s *server) inferModel(model string, input *tensor.Tensor) (*predictResponse, error) {
+	found := false
+	for _, spec := range s.catalog {
+		if spec.ID == model {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", errNotInCatalog, model)
+	}
+	env := simnet.NewEnv()
+	p := platform.New(env, s.cfg, s.seed)
+	p.UseMetrics(s.metrics)
+	m, err := mesh.New(p, mesh.Config{
+		Instances:     1,
+		InstanceMemMB: s.cfg.WeightBudgetMB,
+		Mode:          runtime.Real,
+	}, s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	_, outs, err := gateway.Run(m, []time.Duration{0}, gateway.Config{
+		MaxInFlight: 1,
+		SLOMs:       s.sloMs,
+		Input:       func(int) *tensor.Tensor { return input },
+		Model:       func(int) string { return model },
+		Router:      m,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o := outs[0]
+	if o.Err != "" {
+		return nil, errors.New(o.Err)
+	}
+	return &predictResponse{
+		Model:     o.Model,
 		Shape:     o.Output.Shape(),
 		Output:    o.Output.Data(),
 		LatencyMs: o.LatencyMs,

@@ -24,7 +24,7 @@ var (
 
 func demoServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srvOnce.Do(func() { testSrv, srvErr = newServer("", "lambda", 1, 2000) })
+	srvOnce.Do(func() { testSrv, srvErr = newServer("", "lambda", 1, 2000, "") })
 	if srvErr != nil {
 		t.Fatal(srvErr)
 	}
@@ -127,7 +127,7 @@ func TestNewServerFromModelFile(t *testing.T) {
 	if err := modelio.SaveFile(path, g, true); err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(path, "knix", 2, 0)
+	s, err := newServer(path, "knix", 2, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,8 +138,11 @@ func TestNewServerFromModelFile(t *testing.T) {
 	if err := modelio.SaveFile(path, demoModel(), false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(path, "knix", 2, 0); err == nil {
+	if _, err := newServer(path, "knix", 2, 0, ""); err == nil {
 		t.Fatal("expected no-weights error")
+	}
+	if _, err := newServer("", "lambda", 1, 0, "no-such-model"); err == nil {
+		t.Fatal("expected unknown-catalog-model error")
 	}
 }
 
@@ -173,6 +176,89 @@ func TestMetricsEndpoint(t *testing.T) {
 		"counter gateway.queries", "counter gateway.admitted", "counter gateway.served",
 		"counter gateway.slo_attained", "histogram gateway.queue_wait_ms", "histogram gateway.total_ms",
 	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics output misses %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPredictCatalogModel pins the multi-model mesh wiring: a -catalog
+// server routes model-tagged requests through the mesh with real tensor
+// math, reports the served model, surfaces the mesh counters in
+// /v1/metrics, and rejects models outside the catalog.
+func TestPredictCatalogModel(t *testing.T) {
+	s, err := newServer("", "lambda", 1, 0, "rnn-tiny2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	// /v1/model advertises the catalog.
+	mresp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info modelInfo
+	if err := json.NewDecoder(mresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if len(info.Catalog) != 1 || info.Catalog[0] != "rnn-tiny2" {
+		t.Fatalf("catalog not advertised: %+v", info)
+	}
+
+	in := tensor.Full(0.5, 16, 320)
+	body, err := json.Marshal(predictRequest{Model: "rnn-tiny2", Shape: in.Shape(), Input: in.Data()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Model != "rnn-tiny2" || len(pr.Output) != 4000 || pr.LatencyMs <= 0 {
+		t.Fatalf("bad catalog prediction: model=%q out=%d lat=%.1f", pr.Model, len(pr.Output), pr.LatencyMs)
+	}
+	var sum float64
+	for _, v := range pr.Output {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+
+	// A model outside the catalog is a client error.
+	bad, _ := json.Marshal(predictRequest{Model: "resnet50", Shape: in.Shape(), Input: in.Data()})
+	bresp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("uncataloged model got status %d, want 400", bresp.StatusCode)
+	}
+
+	// Mesh accounting reaches the shared registry.
+	tresp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	text, err := io.ReadAll(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter mesh.misses", "counter mesh.loads.rnn-tiny2"} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("metrics output misses %q:\n%s", want, text)
 		}

@@ -33,6 +33,7 @@ var goldenCases = []struct {
 	{AnalyzerNodeterm, []string{"gillis/internal/gateway"}, "nodeterm_gateway"},
 	{AnalyzerNodeterm, []string{"gillis/internal/adapt"}, "nodeterm_adapt"},
 	{AnalyzerNodeterm, []string{"gillis/internal/batching"}, "nodeterm_batching"},
+	{AnalyzerNodeterm, []string{"gillis/internal/mesh"}, "nodeterm_mesh"},
 	{AnalyzerSharedmut, []string{"sharedmut"}, ""},
 }
 

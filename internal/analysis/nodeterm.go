@@ -22,6 +22,7 @@ var clockedPkgs = []string{
 	"gillis/internal/gateway",
 	"gillis/internal/adapt",
 	"gillis/internal/batching",
+	"gillis/internal/mesh",
 }
 
 // nodetermBanned maps an import path to the package-level names that read

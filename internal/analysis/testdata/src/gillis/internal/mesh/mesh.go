@@ -1,0 +1,33 @@
+// Package mesh is a nodeterm fixture impersonating the multi-model serving
+// mesh: the loader remaps testdata/src/<path> to <path>, so this file
+// type-checks as gillis/internal/mesh. Placement and eviction decisions
+// must be a pure function of the virtual clock and the catalog state — the
+// byte-pinned mesh-report golden and the LRU-vs-no-cache bench ordering
+// both die on any ambient read below.
+package mesh
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadEvict stamps a residency's recency off the wall clock and breaks LRU
+// ties with the global RNG — both banned in a simnet-clocked package.
+func BadEvict() time.Duration {
+	lastUsed := time.Now()       // want: wall-clock recency stamp
+	tie := rand.Intn(2)          // want: global RNG eviction tie-break
+	idle := time.Since(lastUsed) // want: wall-clock idle-time read
+	return idle + time.Duration(tie)
+}
+
+// GoodEvict derives a residency's idle time from the mesh's virtual now
+// and breaks ties deterministically by model ID order.
+func GoodEvict(nowVirtual, lastUsed time.Duration, a, b string) string {
+	if idle := nowVirtual - lastUsed; idle <= 0 {
+		return ""
+	}
+	if a < b {
+		return a
+	}
+	return b
+}

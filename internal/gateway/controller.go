@@ -28,6 +28,17 @@ type Backend interface {
 	Prewarm() error
 }
 
+// Router places multi-model queries: Acquire resolves a catalog model ID
+// to a backend ready to serve it, charging any load work (storage fetch,
+// warm-up) to the calling process's virtual clock. The returned release
+// must be called exactly once when the serve finishes; it returns the
+// placement's concurrency slot and stamps the model's recency.
+// Implementations must be deterministic functions of the virtual clock and
+// their own state, like every other gateway collaborator.
+type Router interface {
+	Acquire(proc *simnet.Proc, model string) (Backend, func(), error)
+}
+
 // BatchBackend is a Backend that can serve a whole batch of queries in one
 // fork-join round. Required when Config.Batch enables cross-query batching.
 type BatchBackend interface {

@@ -68,6 +68,13 @@ type Config struct {
 	// admission slot. Batch.TickMs and Batch.SLOMs default to the gateway's
 	// TickMs and SLOMs. MaxBatch <= 1 leaves the per-query path untouched.
 	Batch batching.Config
+	// Model tags the i-th arrival with the catalog model it requests, and
+	// Router resolves that tag to a serving backend at serve time — the
+	// multi-model mesh path. Both must be set together (and cannot combine
+	// with batching, which forms single-model batches). Nil leaves the
+	// single-backend path bit-identical to a gateway without a mesh.
+	Model  func(i int) string
+	Router Router
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +94,9 @@ func (c Config) withDefaults() Config {
 type Outcome struct {
 	// ID is the query's index in the arrival trace.
 	ID int
+	// Model is the catalog model the query requested (multi-model replays
+	// only; empty on the single-model path).
+	Model string `json:",omitempty"`
 	// ArrivalMs is the arrival time on the virtual clock.
 	ArrivalMs float64
 	// QueueMs is the time spent waiting for a serving slot.
@@ -114,7 +124,8 @@ type Outcome struct {
 	// on the per-query path.
 	BatchSize int
 	// FaultKind is the typed platform fault kind behind Err ("failure",
-	// "timeout", "evicted", "throttled"), "other" for untyped terminal
+	// "timeout", "evicted", "throttled"), "placement" for multi-model
+	// queries the Router could not place, "other" for untyped terminal
 	// errors, and empty for served or shed queries.
 	FaultKind string
 	// Output is the inference result (Real mode only).
@@ -147,6 +158,9 @@ type gateway struct {
 	served, shed, faulted, sloAttained int
 	faultKinds                         map[string]int
 	window                             []windowEntry
+
+	// Per-model settle classification (multi-model replays only).
+	byModel map[string]*ModelStats
 
 	// Brownout episode state (written only by the autoscale process).
 	brownout      bool
@@ -186,6 +200,12 @@ func Run(b Backend, arrivals []time.Duration, cfg Config) (*LoadReport, []Outcom
 	}
 	if cfg.QueueCap < 0 {
 		return nil, nil, fmt.Errorf("gateway: QueueCap must be non-negative, got %d", cfg.QueueCap)
+	}
+	if (cfg.Model == nil) != (cfg.Router == nil) {
+		return nil, nil, fmt.Errorf("gateway: Model and Router must be set together")
+	}
+	if cfg.Router != nil && cfg.Batch.MaxBatch >= 2 {
+		return nil, nil, fmt.Errorf("gateway: multi-model routing cannot combine with batching")
 	}
 	cfg = cfg.withDefaults()
 	p := b.Platform()
@@ -254,6 +274,10 @@ func (g *gateway) query(proc *simnet.Proc, i int) {
 		return
 	}
 	arrivalMs := durMs(proc.Now())
+	var model string
+	if g.cfg.Model != nil {
+		model = g.cfg.Model(i)
+	}
 	g.mQueries.Inc()
 
 	g.mu.Lock()
@@ -272,7 +296,7 @@ func (g *gateway) query(proc *simnet.Proc, i int) {
 		g.mShed.Inc()
 		g.mBrownoutShed.Inc()
 		g.mSLOViolated.Inc()
-		g.settle(i, Outcome{ID: i, ArrivalMs: arrivalMs, Shed: true, Err: ErrBrownout.Error()})
+		g.settle(i, Outcome{ID: i, Model: model, ArrivalMs: arrivalMs, Shed: true, Err: ErrBrownout.Error()})
 		return
 	case len(g.queue) < g.cfg.QueueCap:
 		pr := simnet.NewPromise[struct{}](proc.Env())
@@ -285,7 +309,7 @@ func (g *gateway) query(proc *simnet.Proc, i int) {
 		// A finishing query hands its slot to the queue head directly, so
 		// resolution implies the in-flight accounting already covers us.
 		if _, err := pr.Wait(proc); err != nil {
-			g.settle(i, Outcome{ID: i, ArrivalMs: arrivalMs, Err: err.Error()})
+			g.settle(i, Outcome{ID: i, Model: model, ArrivalMs: arrivalMs, Err: err.Error()})
 			return
 		}
 	default:
@@ -293,12 +317,12 @@ func (g *gateway) query(proc *simnet.Proc, i int) {
 		g.mu.Unlock()
 		g.mShed.Inc()
 		g.mSLOViolated.Inc()
-		g.settle(i, Outcome{ID: i, ArrivalMs: arrivalMs, Shed: true, Err: ErrShed.Error()})
+		g.settle(i, Outcome{ID: i, Model: model, ArrivalMs: arrivalMs, Shed: true, Err: ErrShed.Error()})
 		return
 	}
 
 	g.mAdmitted.Inc()
-	o := g.serve(proc, i, arrivalMs)
+	o := g.serve(proc, i, arrivalMs, model)
 
 	// Release the slot: hand it to the queue head if anyone is waiting.
 	g.mu.Lock()
@@ -314,9 +338,36 @@ func (g *gateway) query(proc *simnet.Proc, i int) {
 	g.settle(i, o)
 }
 
-// serve runs the admitted query to completion and builds its Outcome.
-func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
+// serve runs the admitted query to completion and builds its Outcome. On
+// the multi-model path the Router resolves the backend first — a cache
+// miss loads the model on this query's process, so the load time lands in
+// TotalMs (and counts against the SLO) but not in LatencyMs.
+func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64, model string) Outcome {
 	startMs := durMs(proc.Now())
+	backend := g.b
+	release := func() {}
+	if g.cfg.Router != nil {
+		rb, rel, err := g.cfg.Router.Acquire(proc, model)
+		if err != nil {
+			o := Outcome{
+				ID:        i,
+				Model:     model,
+				ArrivalMs: arrivalMs,
+				QueueMs:   startMs - arrivalMs,
+				TotalMs:   durMs(proc.Now()) - arrivalMs,
+				Err:       err.Error(),
+				FaultKind: "placement",
+			}
+			g.hQueueWaitMs.Observe(o.QueueMs)
+			g.hTotalMs.Observe(o.TotalMs)
+			g.mFaulted.Inc()
+			g.mSLOViolated.Inc()
+			g.reg.Counter("gateway.faults." + o.FaultKind).Inc()
+			return o
+		}
+		backend = rb
+		release = rel
+	}
 	var in *tensor.Tensor
 	if g.cfg.Input != nil {
 		in = g.cfg.Input(i)
@@ -325,12 +376,14 @@ func (g *gateway) serve(proc *simnet.Proc, i int, arrivalMs float64) Outcome {
 	var tr *trace.Trace
 	var err error
 	if g.cfg.Traced {
-		res, tr, err = g.b.ServeTraced(proc, in)
+		res, tr, err = backend.ServeTraced(proc, in)
 	} else {
-		res, err = g.b.Serve(proc, in)
+		res, err = backend.Serve(proc, in)
 	}
+	release()
 	o := Outcome{
 		ID:        i,
+		Model:     model,
 		ArrivalMs: arrivalMs,
 		QueueMs:   startMs - arrivalMs,
 		TotalMs:   durMs(proc.Now()) - arrivalMs,
@@ -394,6 +447,27 @@ func (g *gateway) settle(i int, o Outcome) {
 		e.served = true
 		if o.SLOOK {
 			g.sloAttained++
+		}
+	}
+	if o.Model != "" {
+		if g.byModel == nil {
+			g.byModel = make(map[string]*ModelStats)
+		}
+		ms := g.byModel[o.Model]
+		if ms == nil {
+			ms = &ModelStats{}
+			g.byModel[o.Model] = ms
+		}
+		switch {
+		case o.Shed:
+			ms.Shed++
+		case o.Err != "":
+			ms.Faulted++
+		default:
+			ms.Served++
+		}
+		if !o.SLOOK {
+			ms.SLOMiss++
 		}
 	}
 	g.recordWindow(e)

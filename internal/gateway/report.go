@@ -70,6 +70,20 @@ type LoadReport struct {
 	Batches       int            `json:"batches,omitempty"`
 	MeanBatch     float64        `json:"mean_batch,omitempty"`
 	BatchClosedBy map[string]int `json:"batch_closed_by,omitempty"`
+	// ByModel partitions outcomes by requested catalog model in a
+	// multi-model (mesh-routed) replay. Omitted on the single-model path,
+	// keeping existing reports byte-identical to before the mesh existed.
+	ByModel map[string]*ModelStats `json:"by_model,omitempty"`
+}
+
+// ModelStats partitions one catalog model's arrivals by fate. SLOMiss
+// counts the model's arrivals that did not attain the SLO — shed and
+// faulted queries count against it, like the report's global SLOPct.
+type ModelStats struct {
+	Served  int `json:"served"`
+	Shed    int `json:"shed"`
+	Faulted int `json:"faulted,omitempty"`
+	SLOMiss int `json:"slo_miss"`
 }
 
 // report builds the LoadReport from settled outcomes. The makespan comes
@@ -102,6 +116,13 @@ func (g *gateway) report(billedMs, prewarmMs int64) *LoadReport {
 		rep.FaultsByKind = make(map[string]int, len(g.faultKinds))
 		for k, n := range g.faultKinds {
 			rep.FaultsByKind[k] = n
+		}
+	}
+	if len(g.byModel) > 0 {
+		rep.ByModel = make(map[string]*ModelStats, len(g.byModel))
+		for m, ms := range g.byModel {
+			cp := *ms
+			rep.ByModel[m] = &cp
 		}
 	}
 	var winOK int

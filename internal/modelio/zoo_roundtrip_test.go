@@ -18,6 +18,10 @@ var zooEntries = []string{
 	"wrn34-2", "wrn50-2", "wrn50-4", "wrn101-2",
 	"rnn2", "rnn4", "rnn6", "rnn8",
 	"inception-mini", "mobilenet-mini",
+	// Serving-mesh catalog fillers: the same two small families at
+	// distinct parameter sizes.
+	"mobilenet-mini-w2", "mobilenet-mini-w3",
+	"rnn-tiny2", "rnn-tiny4", "rnn-tiny6",
 }
 
 // TestZooRoundtripEveryEntry exports and reimports every zoo model

@@ -195,12 +195,16 @@ func ByName(name string) (*graph.Graph, error) {
 		return ResNet(a)
 	case scan(name, "wrn%d-%d", &a, &b):
 		return WideResNet(a, b)
+	case scan(name, "rnn-tiny%d", &a):
+		return RNNTiny(a)
 	case scan(name, "rnn%d", &a):
 		return RNN(a)
 	case name == "inception-mini":
 		return MiniInception()
 	case name == "mobilenet-mini":
 		return MobileNetMini()
+	case scan(name, "mobilenet-mini-w%d", &a):
+		return MobileNetMiniW(a)
 	}
 	return nil, fmt.Errorf("models: unknown model %q", name)
 }
@@ -258,26 +262,66 @@ func addInceptionModule(g *graph.Graph, prefix string, in, inC, c1, c3r, c3, c5r
 // BatchNorm and ReLU) — a model family whose depthwise layers are both
 // spatially local and channel-sliceable.
 func MobileNetMini() (*graph.Graph, error) {
-	g := graph.New("mobilenet-mini", ImageInput)
-	g.MustAdd(nn.NewConv2D("stem_conv", 3, 32, 3, 2, 1))
-	g.MustAdd(nn.NewBatchNorm("stem_bn", 32))
+	return mobileNetMini("mobilenet-mini", 1)
+}
+
+// MobileNetMiniW builds MobileNetMini with every channel count multiplied
+// by w ("mobilenet-mini-wN"): the serving mesh's catalog fillers, giving
+// the same architecture at quadratically growing parameter sizes.
+func MobileNetMiniW(w int) (*graph.Graph, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("models: width multiplier %d must be >= 1", w)
+	}
+	return mobileNetMini(fmt.Sprintf("mobilenet-mini-w%d", w), w)
+}
+
+func mobileNetMini(name string, w int) (*graph.Graph, error) {
+	g := graph.New(name, ImageInput)
+	g.MustAdd(nn.NewConv2D("stem_conv", 3, 32*w, 3, 2, 1))
+	g.MustAdd(nn.NewBatchNorm("stem_bn", 32*w))
 	g.MustAdd(nn.NewReLU("stem_relu"))
 
-	inC := 32
+	inC := 32 * w
 	for i, cfg := range []struct{ outC, stride int }{
 		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
 	} {
 		prefix := fmt.Sprintf("ds%d", i+1)
+		outC := cfg.outC * w
 		g.MustAdd(nn.NewDepthwiseConv2D(prefix+"_dw", inC, 3, cfg.stride, 1))
 		g.MustAdd(nn.NewBatchNorm(prefix+"_dw_bn", inC))
 		g.MustAdd(nn.NewReLU(prefix + "_dw_relu"))
-		g.MustAdd(nn.NewConv2D(prefix+"_pw", inC, cfg.outC, 1, 1, 0))
-		g.MustAdd(nn.NewBatchNorm(prefix+"_pw_bn", cfg.outC))
+		g.MustAdd(nn.NewConv2D(prefix+"_pw", inC, outC, 1, 1, 0))
+		g.MustAdd(nn.NewBatchNorm(prefix+"_pw_bn", outC))
 		g.MustAdd(nn.NewReLU(prefix + "_pw_relu"))
-		inC = cfg.outC
+		inC = outC
 	}
 	g.MustAdd(nn.NewGlobalAvgPool("gap"))
 	g.MustAdd(nn.NewDense("fc", inC, numClasses))
+	g.MustAdd(nn.NewSoftmax("prob"))
+	return g, nil
+}
+
+// RNN-tiny dimensions: small enough that several fit one serving
+// instance's memory budget together, which is what a catalog mix needs.
+const (
+	rnnTinyHidden = 320
+	rnnTinySteps  = 16
+	rnnTinyVocab  = 4000
+)
+
+// RNNTiny builds a small n-layer LSTM stack ("rnn-tinyN"): the RNN-family
+// catalog fillers, growing linearly in parameter size with the layer
+// count.
+func RNNTiny(layers int) (*graph.Graph, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("models: RNN needs at least 1 layer, got %d", layers)
+	}
+	g := graph.New(fmt.Sprintf("rnn-tiny%d", layers), []int{rnnTinySteps, rnnTinyHidden})
+	for i := 1; i <= layers; i++ {
+		g.MustAdd(nn.NewLSTM(fmt.Sprintf("lstm%d", i), rnnTinyHidden, rnnTinyHidden))
+	}
+	g.MustAdd(nn.NewTakeLast("last"))
+	g.MustAdd(nn.NewDense("proj", rnnTinyHidden, rnnTinyVocab))
 	g.MustAdd(nn.NewSoftmax("prob"))
 	return g, nil
 }

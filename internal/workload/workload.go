@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -109,4 +110,99 @@ func Bursty(rng *rand.Rand, spec BurstSpec, dur time.Duration) ([]time.Duration,
 // InBurst reports whether time t falls inside a burst window of the spec.
 func InBurst(spec BurstSpec, t time.Duration) bool {
 	return t%spec.Period < spec.BurstLen
+}
+
+// ModelArrival is one arrival of a multi-model trace: an arrival instant
+// plus the catalog model the query requests.
+type ModelArrival struct {
+	At    time.Duration
+	Model string
+}
+
+// ZipfSpec describes Zipf-skewed popularity over a model catalog: the
+// model at rank k (0-based) receives share proportional to 1/(k+1)^S.
+// Models are listed in rank order — Models[0] is the most popular.
+type ZipfSpec struct {
+	Models []string
+	// S is the skew exponent; larger values concentrate more traffic on
+	// the head of the catalog. S = 0 is uniform popularity.
+	S float64
+}
+
+// Validate checks the spec.
+func (s ZipfSpec) Validate() error {
+	if len(s.Models) == 0 {
+		return fmt.Errorf("workload: zipf catalog is empty")
+	}
+	if s.S < 0 {
+		return fmt.Errorf("workload: zipf skew must be non-negative, got %v", s.S)
+	}
+	seen := make(map[string]bool, len(s.Models))
+	for _, m := range s.Models {
+		if m == "" {
+			return fmt.Errorf("workload: zipf catalog has an empty model ID")
+		}
+		if seen[m] {
+			return fmt.Errorf("workload: zipf catalog repeats model %q", m)
+		}
+		seen[m] = true
+	}
+	return nil
+}
+
+// Weights returns the normalized popularity share of each rank.
+func (s ZipfSpec) Weights() []float64 {
+	w := make([]float64, len(s.Models))
+	var total float64
+	for k := range s.Models {
+		w[k] = 1 / math.Pow(float64(k+1), s.S)
+		total += w[k]
+	}
+	for k := range w {
+		w[k] /= total
+	}
+	return w
+}
+
+// MultiModel returns a Poisson arrival trace over [0, dur) with each
+// arrival tagged by a model drawn from the Zipf popularity distribution.
+// Arrival instants are strictly increasing (the Poisson generator's
+// guarantee is preserved untouched); the model draws consume the same
+// seeded RNG, so a fixed seed reproduces the trace bit-for-bit.
+func MultiModel(rng *rand.Rand, spec ZipfSpec, ratePerSec float64, dur time.Duration) ([]ModelArrival, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	times, err := Poisson(rng, ratePerSec, dur)
+	if err != nil {
+		return nil, err
+	}
+	// Inverse-CDF sampling over the cumulative rank weights. rand.Zipf
+	// needs s > 1; the explicit CDF handles any skew, uniform included.
+	cum := make([]float64, len(spec.Models))
+	var total float64
+	for k := range spec.Models {
+		total += 1 / math.Pow(float64(k+1), spec.S)
+		cum[k] = total
+	}
+	out := make([]ModelArrival, len(times))
+	for i, t := range times {
+		u := rng.Float64() * total
+		k := sort.SearchFloat64s(cum, u)
+		if k >= len(cum) {
+			k = len(cum) - 1
+		}
+		out[i] = ModelArrival{At: t, Model: spec.Models[k]}
+	}
+	return out, nil
+}
+
+// Times projects a multi-model trace to its bare arrival instants — the
+// form gateway.Run consumes.
+func Times(arrivals []ModelArrival) []time.Duration {
+	ts := make([]time.Duration, len(arrivals))
+	for i, a := range arrivals {
+		ts[i] = a.At
+	}
+	return ts
 }

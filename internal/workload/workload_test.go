@@ -148,3 +148,94 @@ func TestStrictMonotonicityProperty(t *testing.T) {
 		check(t, "Bursty", seed, b, wantBursty)
 	}
 }
+
+func TestZipfSpecValidate(t *testing.T) {
+	bad := []ZipfSpec{
+		{},
+		{Models: []string{"a", "b"}, S: -1},
+		{Models: []string{"a", ""}},
+		{Models: []string{"a", "a"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+	if err := (ZipfSpec{Models: []string{"a", "b"}, S: 1.1}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiModelDeterministic(t *testing.T) {
+	spec := ZipfSpec{Models: []string{"a", "b", "c"}, S: 1}
+	a, err := MultiModel(rand.New(rand.NewSource(7)), spec, 50, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MultiModel(rand.New(rand.NewSource(7)), spec, 50, 20*time.Second)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic multi-model trace")
+		}
+	}
+	ts := Times(a)
+	if len(ts) != len(a) {
+		t.Fatal("Times dropped arrivals")
+	}
+	for i, at := range ts {
+		if at != a[i].At {
+			t.Fatal("Times reordered arrivals")
+		}
+	}
+}
+
+// TestMultiModelZipfProperty sweeps 100 seeds: the tagged trace must keep
+// the Poisson generator's strict arrival monotonicity, draw only catalog
+// models, and land each rank's empirical popularity within 6 sigma of its
+// configured Zipf share — which in particular pins the rank ordering of
+// the head models against the tail.
+func TestMultiModelZipfProperty(t *testing.T) {
+	const dur = 10 * time.Second
+	const rate = 400.0
+	spec := ZipfSpec{Models: []string{"m0", "m1", "m2", "m3", "m4"}, S: 1}
+	weights := spec.Weights()
+	rank := make(map[string]int, len(spec.Models))
+	for k, m := range spec.Models {
+		rank[m] = k
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		arrivals, err := MultiModel(rand.New(rand.NewSource(seed)), spec, rate, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, len(spec.Models))
+		for i, a := range arrivals {
+			if i > 0 && a.At <= arrivals[i-1].At {
+				t.Fatalf("seed %d: arrivals not strictly increasing at %d", seed, i)
+			}
+			k, ok := rank[a.Model]
+			if !ok {
+				t.Fatalf("seed %d: arrival %d drew unknown model %q", seed, i, a.Model)
+			}
+			counts[k]++
+		}
+		n := float64(len(arrivals))
+		for k, c := range counts {
+			want := n * weights[k]
+			// 6 sigma on a binomial count keeps 100 seeds flake-free.
+			tol := 6 * math.Sqrt(n*weights[k]*(1-weights[k]))
+			if math.Abs(float64(c)-want) > tol {
+				t.Fatalf("seed %d: rank %d drew %d arrivals, want %.0f±%.0f (zipf share %.3f)",
+					seed, k, c, want, tol, weights[k])
+			}
+		}
+		// The head of the catalog must empirically dominate the tail.
+		if counts[0] <= counts[len(counts)-1] {
+			t.Fatalf("seed %d: rank 0 (%d draws) did not dominate rank %d (%d draws)",
+				seed, counts[0], len(counts)-1, counts[len(counts)-1])
+		}
+	}
+}
